@@ -1,0 +1,34 @@
+# Convenience targets for the NewsWire reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench experiments experiments-quick examples clean
+
+install:
+	pip install -e '.[test]'
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -x -q --ignore=tests/integration
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) -m repro.experiments
+
+experiments-quick:
+	$(PYTHON) -m repro.experiments --quick
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/wire_service.py
+	$(PYTHON) examples/astrolabe_monitoring.py
+	$(PYTHON) examples/breaking_news_resilience.py
+	$(PYTHON) examples/slashdot_day.py
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null || true
+	rm -rf .pytest_cache .hypothesis build dist *.egg-info

@@ -1,0 +1,20 @@
+"""E10 — scoped publishing and premium predicate targeting (§8)."""
+
+from repro.experiments.e10_scoped import run_e10
+
+
+def test_e10_scoped_publish(benchmark, report):
+    result = benchmark.pedantic(lambda: run_e10(num_nodes=240), iterations=1, rounds=1)
+    report(result)
+    by_case = {row.case.split(":")[0]: row for row in result.rows}
+    globalrow = by_case["global"]
+    scoped = by_case["scoped"]
+    premium = by_case["premium-only"]
+    # Containment: zero deliveries outside the selected zone.
+    assert scoped.delivered_outside == 0
+    assert scoped.delivered_inside == scoped.expected_receivers
+    # Traffic shrinks proportionally with the scope.
+    assert scoped.forwards < globalrow.forwards / 4
+    # Premium targeting: exactly the premium subscribers, nobody else.
+    assert premium.delivered_inside == premium.expected_receivers
+    assert premium.delivered_outside == 0

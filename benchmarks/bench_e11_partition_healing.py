@@ -1,0 +1,26 @@
+"""E11 — partition healing vs the bounded repair window (§3, §5)."""
+
+from repro.experiments.e11_partition import run_e11
+
+
+def test_e11_partition_healing(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_e11(
+            num_nodes=120,
+            durations=(20.0, 120.0),
+            buffer_capacities=(16, 256),
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    report(result)
+    rows = {(r.partition_duration, r.repair_buffer): r for r in result.rows}
+    # Inside the window: a short split with ample buffers heals ~fully.
+    assert rows[(20.0, 256)].recovered_ratio > 0.95
+    assert rows[(20.0, 256)].recovery_time_s is not None
+    # The bimodal boundary: a long split with tiny buffers loses the
+    # backlog that aged out of every repair buffer before the heal.
+    assert (
+        rows[(120.0, 16)].recovered_ratio
+        < rows[(120.0, 256)].recovered_ratio
+    )

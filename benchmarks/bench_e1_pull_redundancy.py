@@ -1,0 +1,18 @@
+"""E1 — pull-model redundancy (paper §1: ~70% redundant at 4 visits/day).
+
+Regenerates the redundancy-vs-poll-rate table across all four §1
+access models (full page, if-modified-since, delta encoding, RSS).
+"""
+
+from repro.experiments.e1_redundancy import run_e1
+
+
+def test_e1_pull_redundancy(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_e1(days=2.0), iterations=1, rounds=1
+    )
+    report(result)
+    at4 = result.redundancy_at("full", 4)
+    assert 0.5 <= at4 <= 0.85, f"paper claims ~0.70, measured {at4:.2f}"
+    assert result.redundancy_at("full", 24) > at4
+    assert result.redundancy_at("delta", 4) == 0.0

@@ -1,0 +1,24 @@
+"""E2 — delivery latency vs population size (abstract/§9: tens of
+seconds at hundreds of thousands of subscribers).
+
+The measured sizes keep the benchmark run minutes-scale; the latency
+growth is logarithmic in N (tree depth), so the extrapolation to 10^5
+stays far inside the paper's budget.  ``python -m
+repro.experiments.e2_latency`` accepts larger ``sizes`` for full runs.
+"""
+
+from repro.experiments.e2_latency import run_e2
+
+
+def test_e2_latency_scaling(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_e2(sizes=(100, 500, 2000), items=5),
+        iterations=1,
+        rounds=1,
+    )
+    report(result)
+    for row in result.rows:
+        assert row.ratio == 1.0, f"lost deliveries at N={row.num_nodes}"
+        assert row.latency.maximum < 30.0
+    small, _, large = result.rows
+    assert large.latency.p99 < 10 * small.latency.p99  # log growth, not 20x

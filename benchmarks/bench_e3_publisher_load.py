@@ -1,0 +1,32 @@
+"""E3 — publisher load (abstract: NewsWire "significantly reduces the
+compute and network load at the publishers").
+
+Direct push and pull grow linearly in N; NewsWire's publisher talks to
+a handful of representatives regardless of N.
+"""
+
+from repro.experiments.e3_publisher_load import run_e3
+
+
+def test_e3_publisher_load(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_e3(sizes=(100, 500, 2000), items=10),
+        iterations=1,
+        rounds=1,
+    )
+    report(result)
+    by_system = {}
+    for row in result.rows:
+        by_system.setdefault(row.system, []).append(row)
+    push = by_system["direct-push"]
+    newswire = by_system["newswire"]
+    push_growth = push[-1].publisher_msgs_per_item / push[0].publisher_msgs_per_item
+    nw_growth = (
+        newswire[-1].publisher_msgs_per_item / newswire[0].publisher_msgs_per_item
+    )
+    assert push_growth > 10.0   # ~linear over the 20x size range
+    assert nw_growth < 4.0      # ~flat (gossip background only)
+    assert (
+        newswire[-1].publisher_bytes_per_item
+        < push[-1].publisher_bytes_per_item / 2
+    )

@@ -1,0 +1,26 @@
+"""E4 — overload / denial of service (abstract, §1).
+
+The centralized origin collapses as flood rates exceed its capacity
+(the September-2001 failure mode); NewsWire delivery is unaffected
+even with the publisher crashed right after the burst.
+"""
+
+from repro.experiments.e4_overload import run_e4
+
+
+def test_e4_overload_dos(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_e4(
+            num_clients=300, items=10, flood_rates=(0.0, 100.0, 1000.0, 5000.0)
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    report(result)
+    rows = {(r.system, r.flood_rate): r for r in result.rows}
+    assert rows[("pull", 0.0)].delivery_ratio > 0.95
+    assert rows[("pull", 5000.0)].delivery_ratio < 0.25   # "completely useless"
+    assert rows[("pull", 5000.0)].served_ratio < 0.3      # "even a small percentage"
+    for flood in (0.0, 100.0, 1000.0, 5000.0):
+        row = rows[("newswire+pubcrash", flood)]
+        assert row.delivery_ratio > 0.95                   # "guarantees delivery"

@@ -1,0 +1,24 @@
+"""E6 — subscription propagation (§6: the root learns of a new
+subscription "within tens of seconds")."""
+
+from repro.experiments.e6_subscription import run_e6
+
+
+def test_e6_subscription_propagation(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_e6(sizes=(100, 500), gossip_intervals=(2.0, 5.0)),
+        iterations=1,
+        rounds=1,
+    )
+    report(result)
+    for row in result.rows:
+        assert row.root_visibility_s is not None, "propagation timed out"
+        assert row.root_visibility_s < 60.0      # "tens of seconds"
+        assert row.first_delivery_s is not None  # end-to-end ready
+    # Propagation time scales with the gossip interval, not with N.
+    by_interval = {}
+    for row in result.rows:
+        by_interval.setdefault(row.gossip_interval, []).append(
+            row.root_visibility_s
+        )
+    assert min(by_interval[5.0]) > min(by_interval[2.0])

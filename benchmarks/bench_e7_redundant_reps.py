@@ -1,0 +1,25 @@
+"""E7 — redundant representatives + bimodal repair (§9, §5).
+
+Delivery ratio rises with the representative count and with repair;
+duplicate-suppression overhead is the price of redundancy.
+"""
+
+from repro.experiments.e7_redundancy import run_e7
+
+
+def test_e7_redundant_reps(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_e7(num_nodes=300, items=10),
+        iterations=1,
+        rounds=1,
+    )
+    report(result)
+    rows = {(r.representatives, r.repair): r for r in result.rows}
+    # More representatives -> higher delivery (repair off isolates the effect).
+    assert rows[(3, False)].delivery_ratio > rows[(1, False)].delivery_ratio
+    # Repair completes delivery at every redundancy level.
+    for reps in (1, 2, 3):
+        assert rows[(reps, True)].delivery_ratio > 0.97
+    # Redundancy costs duplicates; k=1 has (almost) none.
+    assert rows[(1, False)].duplicates_per_delivery < 0.05
+    assert rows[(3, False)].duplicates_per_delivery > rows[(2, False)].duplicates_per_delivery

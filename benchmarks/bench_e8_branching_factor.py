@@ -1,0 +1,19 @@
+"""E8 — zone branching-factor ablation (§3's "say, 64 rows")."""
+
+from repro.experiments.e8_branching import run_e8
+
+
+def test_e8_branching_factor(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_e8(num_nodes=512, branchings=(4, 8, 16, 64)),
+        iterations=1,
+        rounds=1,
+    )
+    report(result)
+    by_branching = {row.branching: row for row in result.rows}
+    # Deeper trees (small zones) -> higher delivery latency.
+    assert by_branching[4].depth > by_branching[64].depth
+    assert by_branching[4].deliver_p99 > by_branching[64].deliver_p99
+    # Everything delivered regardless of shape.
+    for row in result.rows:
+        assert row.forwards_per_item > 0

@@ -1,0 +1,19 @@
+"""E9 — forwarding-queue fill strategies (§9's open question)."""
+
+from repro.experiments.e9_queues import run_e9
+
+
+def test_e9_queue_strategies(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_e9(num_nodes=200, items=40),
+        iterations=1,
+        rounds=1,
+    )
+    report(result)
+    rows = {row.strategy: row for row in result.rows}
+    # All strategies deliver the same total (work conservation).
+    assert len({row.deliveries for row in result.rows}) == 1
+    # Urgency-first wins for flashes, by a large factor over FIFO.
+    assert rows["urgency_first"].urgent_p50 < rows["fifo"].urgent_p50 / 2
+    # Weighted RR beats FIFO on overall median (big zones served more).
+    assert rows["weighted_rr"].all_p50 <= rows["fifo"].all_p50

@@ -1,0 +1,86 @@
+"""Substrate microbenchmarks: the hot paths under everything.
+
+Not tied to a paper claim; these quantify the cost model of the
+simulation substrate itself (useful when sizing full-scale runs of
+E2/E3) and catch performance regressions in the four operations that
+dominate wall-clock time: AQL aggregation, anti-entropy digest/delta,
+Bloom operations, and end-to-end gossip rounds.
+"""
+
+import random
+
+from repro.core.bloom import BloomFilter
+from repro.core.config import NewsWireConfig
+from repro.astrolabe.aql import AqlProgram
+from repro.astrolabe.deployment import build_astrolabe
+from repro.astrolabe.representatives import core_aggregation_source
+from repro.gossip.antientropy import VersionedStore
+
+
+def test_aql_core_aggregation(benchmark):
+    """One core-certificate evaluation over a full 64-row zone table."""
+    program = AqlProgram(core_aggregation_source(3))
+    rows = [
+        {
+            "nmembers": 1,
+            "load": (i * 7 % 40) / 10.0,
+            "contacts": (f"/z/n{i}",),
+            "loads": ((i * 7 % 40) / 10.0,),
+            "leaf": True,
+        }
+        for i in range(64)
+    ]
+    result = benchmark(program.evaluate, rows)
+    assert result["nmembers"] == 64
+    assert len(result["contacts"]) == 3
+
+
+def test_antientropy_digest_delta(benchmark):
+    """Digest + delta for a 64-entry replicated store (per exchange)."""
+    local = VersionedStore()
+    remote = VersionedStore()
+    for i in range(64):
+        local.put(f"k{i}", i, (float(i), "w"))
+        if i % 2 == 0:
+            remote.put(f"k{i}", i, (float(i), "w"))
+
+    def exchange():
+        return local.delta_for(remote.digest())
+
+    delta = benchmark(exchange)
+    assert len(delta) == 32
+
+
+def test_bloom_filter_union_and_test(benchmark):
+    """The per-forward filter work: OR-merge + membership test."""
+    rng = random.Random(1)
+    filters = [
+        BloomFilter.from_items(
+            [f"s{rng.getrandbits(32)}" for _ in range(20)], 1024, 1
+        )
+        for _ in range(8)
+    ]
+    positions = filters[0].positions("probe")
+
+    def merge_and_test():
+        merged = BloomFilter(1024, 1)
+        for f in filters:
+            merged |= f
+        return merged.test_positions(positions)
+
+    benchmark(merge_and_test)
+
+
+def test_gossip_round_500_nodes(benchmark):
+    """One full gossip round of a 500-node population (all levels)."""
+    deployment = build_astrolabe(
+        500, NewsWireConfig(branching_factor=16), seed=3
+    )
+    deployment.run_rounds(2)  # warm: aggregates and contacts in place
+    interval = deployment.config.gossip.interval
+
+    def one_round():
+        deployment.run_rounds(1)
+
+    benchmark.pedantic(one_round, iterations=1, rounds=5)
+    assert deployment.agents[0].root_aggregate("nmembers") == 500

@@ -1,0 +1,20 @@
+"""Benchmark configuration: one measured round per experiment.
+
+Each benchmark runs its experiment driver once under pytest-benchmark
+timing and prints the claim-reproduction table the experiment produces;
+EXPERIMENTS.md records these outputs against the paper's claims.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print an experiment report outside pytest's capture."""
+
+    def _print(result):
+        with capsys.disabled():
+            print()
+            print(result.report())
+
+    return _print

@@ -1,0 +1,88 @@
+"""Astrolabe as a management service (paper §3–§4), standalone.
+
+NewsWire is one application of Astrolabe; §4 argues the same substrate
+manages the infrastructure itself.  This example runs bare Astrolabe:
+
+* 500 agents export load / free-memory / service-version attributes;
+* an operator installs a new aggregation function — *mobile code*,
+  signed and spread epidemically — that summarizes exactly what a
+  capacity dashboard needs;
+* the "dashboard" (any agent!) reads the root aggregates;
+* a rack of machines crashes and the hierarchy reconfigures itself.
+
+Run:  python examples/astrolabe_monitoring.py
+"""
+
+from repro.astrolabe import (
+    AggregationCertificate,
+    build_astrolabe,
+)
+from repro.core import NewsWireConfig
+
+#: §4: "aggregated availability and performance of network ... which
+#: elements are in the min/max category, and hence represent targets
+#: for new operations."
+DASHBOARD_AQL = """
+SELECT SUM(COALESCE(freemem_total, freemem)) AS freemem_total,
+       MIN(COALESCE(fastest, load))          AS fastest,
+       MAX(COALESCE(slowest, load))          AS slowest,
+       SUM(COALESCE(v2_count, IF(version = 'v2', 1, 0))) AS v2_count
+"""
+
+
+def main() -> None:
+    config = NewsWireConfig(branching_factor=10)
+    deployment = build_astrolabe(
+        500,
+        config,
+        seed=99,
+        configure_agent=lambda agent, index: agent.set_attributes({
+            "load": (index * 7 % 40) / 10.0,
+            "freemem": 256 + (index * 13) % 1024,
+            "version": "v2" if index % 5 == 0 else "v1",
+        }),
+    )
+    dashboard = deployment.agents[0]
+
+    print(f"population: {dashboard.root_aggregate('nmembers')} agents, "
+          f"{max(a.node_id.depth for a in deployment.agents)} zone levels")
+
+    # Install the dashboard aggregation as signed mobile code at ONE
+    # agent; the epidemic carries it everywhere.
+    certificate = AggregationCertificate.issue(
+        "dashboard", DASHBOARD_AQL.strip(), "admin",
+        deployment.keychain, issued_at=deployment.sim.now,
+    )
+    deployment.agents[123].install_aggregation(certificate)
+    deployment.run_rounds(12)
+
+    def show(tag: str) -> None:
+        view = dashboard.evaluate_zone(dashboard.zones[0])
+        print(f"{tag}:")
+        print(f"  members:      {view.get('nmembers')}")
+        print(f"  free memory:  {view.get('freemem_total'):,} MB total")
+        print(f"  load range:   {view.get('fastest')} .. {view.get('slowest')}")
+        print(f"  v2 rollout:   {view.get('v2_count')} machines")
+
+    show("dashboard view after installing mobile code")
+
+    # A whole leaf zone of machines fails.
+    rack_zone = deployment.agents[250].parent_zone
+    victims = [a for a in deployment.agents if a.parent_zone == rack_zone]
+    for victim in victims:
+        victim.crash()
+    print(f"\ncrashing rack {rack_zone} ({len(victims)} machines)...")
+    deployment.run_rounds(config.gossip.row_ttl_rounds + 8)
+    show("dashboard view after automatic reconfiguration")
+
+    # Everyone converged, not just the dashboard node.
+    views = {
+        agent.root_aggregate("nmembers")
+        for agent in deployment.alive_agents()
+    }
+    print(f"\nall {len(deployment.alive_agents())} survivors agree on "
+          f"membership: {views}")
+
+
+if __name__ == "__main__":
+    main()

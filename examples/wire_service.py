@@ -1,0 +1,111 @@
+"""The general-news configuration (§10) with the enriched features.
+
+"The second configuration will be targeted towards the general news
+distribution with publishing by Reuters, Associated Press, the New
+York Times, etc."
+
+This example exercises the richer machinery on top of the base system:
+
+* three authenticated wire publishers with different certified rates;
+* hierarchical subjects (``reuters/sports/f1``) with **wildcard
+  subscriptions** (``reuters/sports/*``) via the PrefixBloomScheme
+  (§7's "enrich the subscription space");
+* **zone-predicate targeting** — a premium flash sent only where
+  premium desks exist (§8's future-work feature);
+* the per-subscriber cache's compact front page (§9).
+
+Run:  python examples/wire_service.py
+"""
+
+from repro.astrolabe import AggregationCertificate
+from repro.core import BloomConfig, NewsWireConfig
+from repro.news import build_newswire
+from repro.pubsub import PrefixBloomScheme, Subscription
+
+PUBLISHERS = ("reuters", "ap", "nytimes")
+DESKS = {
+    0: ("reuters/sports/*",),                 # sports desk: everything sporty
+    1: ("reuters/world/europe", "ap/world/*"),
+    2: ("nytimes/business", "reuters/markets/*"),
+    3: ("ap/world/asia",),
+}
+
+
+def subscriptions_for(index):
+    return tuple(Subscription(s) for s in DESKS[index % len(DESKS)])
+
+
+def main() -> None:
+    config = NewsWireConfig(
+        branching_factor=12,
+        bloom=BloomConfig(num_bits=2048, num_hashes=1),
+    )
+    system = build_newswire(
+        num_nodes=240,
+        config=config,
+        publisher_names=PUBLISHERS,
+        publisher_rate=30.0,
+        scheme=PrefixBloomScheme(config.bloom),
+        subscriptions_for=subscriptions_for,
+        seed=77,
+    )
+
+    # Premium desks (every 8th node) export a flag; a signed mobile-code
+    # aggregation makes it visible per zone for predicate routing.
+    flag_cert = AggregationCertificate.issue(
+        "premium", "SELECT MAX(COALESCE(premium, 0)) AS premium",
+        "admin", system.deployment.keychain, issued_at=0.5,
+    )
+    system.deployment.install_everywhere(flag_cert)
+    premium = []
+    for index, node in enumerate(system.nodes):
+        node.set_attribute("premium", 1 if index % 8 == 0 else 0)
+        if index % 8 == 0:
+            # Premium desks also take the markets wire — the predicate
+            # then narrows *which* markets subscribers get the flash.
+            node.subscribe(Subscription("reuters/markets/*"))
+            premium.append(node)
+    system.run_for(3 * config.gossip.interval)
+
+    reuters = system.publisher("reuters")
+    ap = system.publisher("ap")
+
+    # Wire traffic across the subject tree.
+    stories = [
+        reuters.publish_news("reuters/sports/f1", "Pole position decided",
+                             urgency=5),
+        reuters.publish_news("reuters/sports/football/cup", "Upset in the cup",
+                             urgency=4),
+        reuters.publish_news("reuters/markets/bonds", "Yields jump", urgency=3),
+        ap.publish_news("ap/world/asia", "Summit concludes", urgency=4),
+        ap.publish_news("ap/world/europe/summit", "Joint statement", urgency=4),
+    ]
+    system.run_for(20.0)
+    print(f"{len(stories)} wire stories delivered "
+          f"{system.trace.count('deliver')} times; "
+          f"{system.trace.count('filtered')} subtree forwards pruned")
+
+    # A premium-only flash, targeted by zone predicate.
+    flash = reuters.publish_news(
+        "reuters/markets/alert", "PREMIUM FLASH: rate decision",
+        urgency=1,
+        zone_predicate="COALESCE(premium, 0) = 1",
+    )
+    system.run_for(20.0)
+    got_flash = [
+        node for node in system.nodes if flash.item_id in node.cache
+    ]
+    print(f"premium flash reached {len(got_flash)} desks "
+          f"(premium desks: {len(premium)})")
+
+    # A sports desk's compact front page (§9's cache aggregation).
+    sports_desk = system.nodes[4]  # index 4 -> DESKS[0], sports
+    print(f"\nfront page at {sports_desk.node_id} "
+          f"(subscribed: {[s.subject for s in sports_desk.subscriptions]}):")
+    for item in sports_desk.cache.front_page(5):
+        print(f"  [u{item.urgency}] {item.subject:30s} {item.headline}")
+    print(f"subject digest: {sports_desk.cache.subject_digest()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Astrolabe: gossip-based hierarchical aggregation (paper §3–§4).
+
+A full re-implementation of the substrate the paper builds on: MIB
+rows, zone tables, the AQL aggregation language (SQL-subset mobile
+code), certificates, the per-node epidemic agent, and a deployment
+builder that stands up complete populations on the simulator.
+"""
+
+from repro.astrolabe.agent import AstrolabeAgent
+from repro.astrolabe.aql import AqlProgram, evaluate, parse
+from repro.astrolabe.certificates import (
+    AggregationCertificate,
+    Certificate,
+    KeyChain,
+    PublisherCertificate,
+)
+from repro.astrolabe.deployment import (
+    ADMIN_PRINCIPAL,
+    AstrolabeDeployment,
+    balanced_paths,
+    build_astrolabe,
+)
+from repro.astrolabe.management import ManagementConsole, ZoneSummary
+from repro.astrolabe.mib import AttributeValue, Row, check_attribute_value, make_version
+from repro.astrolabe.representatives import (
+    CORE_AGGREGATION_NAME,
+    core_aggregation_source,
+    issue_core_certificate,
+)
+from repro.astrolabe.zone import ZoneTable
+
+__all__ = [
+    "ADMIN_PRINCIPAL",
+    "AggregationCertificate",
+    "AqlProgram",
+    "AstrolabeAgent",
+    "AstrolabeDeployment",
+    "AttributeValue",
+    "CORE_AGGREGATION_NAME",
+    "Certificate",
+    "KeyChain",
+    "ManagementConsole",
+    "ZoneSummary",
+    "PublisherCertificate",
+    "Row",
+    "ZoneTable",
+    "balanced_paths",
+    "build_astrolabe",
+    "check_attribute_value",
+    "core_aggregation_source",
+    "evaluate",
+    "issue_core_certificate",
+    "make_version",
+    "parse",
+]

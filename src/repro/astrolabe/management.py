@@ -1,0 +1,155 @@
+"""Management console: the §4 use of Astrolabe, as a client API.
+
+"One use for Astrolabe in a scalable publish-subscribe setting is to
+simply manage the publish-subscribe subsystem ... aggregation
+functions used in this setting would typically compute aggregated
+availability and performance of network, and might offer real-time
+guidance concerning which elements are in the min/max category, and
+hence represent targets for new operations."
+
+A :class:`ManagementConsole` wraps any agent and answers the
+operator-style questions §4 sketches, by reading that agent's
+replicated tables (no extra protocol — the whole point of Astrolabe is
+that every participant already holds the answers for its root path):
+
+* which zones/machines are least loaded (targets for new operations);
+* where a given attribute predicate holds (drill-down search);
+* a zone-tree summary for dashboards.
+
+Queries are *local* and reflect the agent's eventually-consistent
+view; a console on a different agent may briefly disagree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Mapping, Optional
+
+from repro.core.errors import AqlSyntaxError, ZoneError
+from repro.core.identifiers import ZonePath
+from repro.astrolabe.agent import AstrolabeAgent
+from repro.astrolabe.aql import compile_predicate
+
+
+@dataclass(frozen=True)
+class ZoneSummary:
+    """One row of a dashboard: a zone as seen from the console's agent."""
+
+    zone: ZonePath
+    is_leaf: bool
+    attributes: Mapping[str, object]
+
+    def get(self, name: str, default=None):
+        return self.attributes.get(name, default)
+
+
+class ManagementConsole:
+    """Operator queries over one agent's replicated hierarchy."""
+
+    def __init__(self, agent: AstrolabeAgent):
+        self.agent = agent
+
+    # -- navigation ----------------------------------------------------------
+
+    def children(self, zone: ZonePath) -> list[ZoneSummary]:
+        """The rows of ``zone``'s table, as this agent sees them.
+
+        Only zones on the agent's root path are replicated; anything
+        else raises :class:`ZoneError` (drill down along the path).
+        """
+        table = self.agent.zone_table(zone)
+        out = []
+        for label, row in table.rows():
+            out.append(
+                ZoneSummary(
+                    zone=zone.child(label),
+                    is_leaf=bool(row.get("leaf", False)),
+                    attributes=row.mapping,
+                )
+            )
+        return out
+
+    def visible_zones(self) -> Iterator[ZonePath]:
+        """Every zone whose table this agent replicates, root first."""
+        return iter(self.agent.zones)
+
+    def root_view(self) -> Mapping[str, object]:
+        """The global aggregates (§6: "the root zone will have all the
+        information")."""
+        return self.agent.evaluate_zone(self.agent.zones[0])
+
+    # -- min/max guidance (§4) ------------------------------------------------
+
+    def least_loaded(self, count: int = 3) -> list[tuple[str, float]]:
+        """The ``count`` least-loaded *contacts* visible from the root —
+        "targets for new operations".
+
+        Uses the contacts/loads election the core certificate already
+        aggregates, so this is a pure read.
+        """
+        candidates: list[tuple[float, str]] = []
+        for summary in self.children(self.agent.zones[0]):
+            contacts = summary.get("contacts", ())
+            loads = summary.get("loads", ())
+            if isinstance(contacts, tuple) and isinstance(loads, tuple):
+                candidates.extend(
+                    (float(load), str(contact))
+                    for contact, load in zip(contacts, loads)
+                )
+        candidates.sort()
+        return [(contact, load) for load, contact in candidates[:count]]
+
+    def hottest_zone(self) -> Optional[ZoneSummary]:
+        """The top-level zone with the highest ``maxload`` aggregate."""
+        children = self.children(self.agent.zones[0])
+        loaded = [c for c in children if isinstance(c.get("maxload"), (int, float))]
+        if not loaded:
+            return None
+        return max(loaded, key=lambda c: c.get("maxload"))
+
+    # -- drill-down search ------------------------------------------------------
+
+    def find_zones(
+        self, predicate: str, max_depth: Optional[int] = None
+    ) -> list[ZoneSummary]:
+        """Zones (on the replicated path) whose row satisfies ``predicate``.
+
+        ``predicate`` is an AQL expression over row attributes, e.g.
+        ``"maxload > 0.9"`` or ``"CONTAINS(publishers, 'reuters')"``.
+        The search walks each replicated table; for subtrees the agent
+        does not replicate, the aggregated row is the finest answer
+        available — which is exactly Astrolabe's scalability deal.
+        """
+        try:
+            test: Callable[[Mapping], bool] = compile_predicate(predicate)
+        except Exception as exc:
+            raise AqlSyntaxError(f"bad console predicate: {exc}") from exc
+        matches: list[ZoneSummary] = []
+        for zone in self.agent.zones:
+            if max_depth is not None and zone.depth >= max_depth:
+                continue
+            for summary in self.children(zone):
+                try:
+                    if test(summary.attributes):
+                        matches.append(summary)
+                except Exception:
+                    continue  # rows missing the attributes simply don't match
+        return matches
+
+    # -- dashboards ---------------------------------------------------------------
+
+    def tree_report(self) -> str:
+        """A printable snapshot of the replicated hierarchy."""
+        lines = []
+        for zone in self.agent.zones:
+            label = str(zone)
+            lines.append(f"{label}")
+            for summary in self.children(zone):
+                nmembers = summary.get("nmembers", "?")
+                maxload = summary.get("maxload", summary.get("load", "?"))
+                kind = "leaf" if summary.is_leaf else "zone"
+                lines.append(
+                    f"  {summary.zone.name:12s} {kind:4s} "
+                    f"members={nmembers} maxload={maxload}"
+                )
+        return "\n".join(lines)

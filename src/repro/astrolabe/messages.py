@@ -1,0 +1,117 @@
+"""Wire messages of the Astrolabe epidemic protocol.
+
+A gossip exchange is three messages (push-pull anti-entropy):
+
+1. ``GossipRequest`` — initiator's version digest of one zone table;
+2. ``GossipReply`` — responder's missing/newer rows plus its digest;
+3. ``GossipFinish`` — initiator's rows the responder lacked.
+
+Aggregation-function certificates ride along on the same exchange so
+mobile code spreads "using the same epidemic techniques as are used
+for updates to the data in the rows themselves" (§3).
+
+Each message computes an approximate ``wire_size`` so the network layer
+can account bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.core.identifiers import ZonePath
+from repro.gossip.antientropy import Entry, Version
+from repro.astrolabe.certificates import AggregationCertificate
+from repro.astrolabe.zone import ZoneDelta, ZoneDigest
+
+#: Certificates digests/deltas keyed by function name.
+CertDigest = Dict[str, Version]
+CertDelta = Dict[str, Entry[AggregationCertificate]]
+#: A gossip exchange reconciles the anchor zone *and all its ancestors*
+#: that both parties replicate, so every leaf-level exchange refreshes
+#: the full root path.  Keyed by zone.
+PathDigests = Dict[ZonePath, ZoneDigest]
+PathDeltas = Dict[ZonePath, ZoneDelta]
+
+_DIGEST_ENTRY_BYTES = 24  # label + version
+_CERT_BYTES = 160         # name + AQL text + signature, roughly
+
+
+def _digests_size(digests: PathDigests) -> int:
+    return sum(8 + _DIGEST_ENTRY_BYTES * len(digest) for digest in digests.values())
+
+
+def _deltas_size(deltas: PathDeltas) -> int:
+    return sum(
+        8 + sum(entry.value.wire_size() for entry in delta.values())
+        for delta in deltas.values()
+    )
+
+
+@dataclass
+class GossipRequest:
+    zone: ZonePath
+    digests: PathDigests
+    certs_digest: CertDigest
+    wire_size: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.wire_size = (
+            32
+            + _digests_size(self.digests)
+            + _DIGEST_ENTRY_BYTES * len(self.certs_digest)
+        )
+
+
+@dataclass
+class GossipReply:
+    zone: ZonePath
+    deltas: PathDeltas
+    digests: PathDigests
+    certs_delta: CertDelta
+    certs_digest: CertDigest
+    wire_size: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.wire_size = (
+            32
+            + _deltas_size(self.deltas)
+            + _digests_size(self.digests)
+            + _DIGEST_ENTRY_BYTES * len(self.certs_digest)
+            + _CERT_BYTES * len(self.certs_delta)
+        )
+
+
+@dataclass
+class GossipFinish:
+    zone: ZonePath
+    deltas: PathDeltas
+    certs_delta: CertDelta
+    wire_size: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.wire_size = (
+            32 + _deltas_size(self.deltas) + _CERT_BYTES * len(self.certs_delta)
+        )
+
+
+@dataclass
+class JoinRequest:
+    """A joining node asks an introducer for the tables on its path."""
+
+    joiner: ZonePath
+    wire_size: int = 64
+
+
+@dataclass
+class JoinReply:
+    """Snapshot of every table the introducer shares with the joiner."""
+
+    tables: Dict[ZonePath, ZoneDelta]
+    certs_delta: CertDelta
+    wire_size: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.wire_size = (
+            32 + _CERT_BYTES * len(self.certs_delta) + _deltas_size(self.tables)
+        )

@@ -1,0 +1,61 @@
+"""Standard aggregation certificates: membership, contacts, load.
+
+Section 5: "The representatives are selected in each zone through an
+aggregation function that combines the local knowledge of availability
+of independent network paths to a node, the load on those paths and
+the load on each node.  This function will post the results to its
+entry in the parent zone; together with some basic attributes on which
+higher-level zone aggregation can be performed."
+
+Our core certificate elects the ``k`` least-loaded members of each
+zone as its ``contacts`` (gossip partners *and* multicast
+representatives), keeps their loads alongside for the next level's
+election, and carries the membership count and load extrema that the
+management examples read.
+"""
+
+from __future__ import annotations
+
+from repro.core.identifiers import ZonePath
+from repro.astrolabe.certificates import AggregationCertificate, KeyChain
+
+#: Name under which the core certificate is installed everywhere.
+CORE_AGGREGATION_NAME = "core"
+
+
+def core_aggregation_source(representatives: int) -> str:
+    """AQL for the always-installed core aggregation."""
+    k = int(representatives)
+    if k <= 0:
+        raise ValueError("representatives must be positive")
+    # COALESCE makes one program valid at every level: leaf rows carry
+    # ``load``, internal rows carry the already-aggregated ``minload``/
+    # ``maxload``/``loadsum`` — exactly how hierarchical aggregation
+    # functions must be written to compose (min of mins, sum of sums).
+    return (
+        "SELECT "
+        "SUM(nmembers) AS nmembers, "
+        f"REPS_CONTACTS({k}, contacts, loads) AS contacts, "
+        f"REPS_LOADS({k}, contacts, loads) AS loads, "
+        "MIN(COALESCE(minload, load)) AS minload, "
+        "MAX(COALESCE(maxload, load)) AS maxload, "
+        "SUM(COALESCE(loadsum, load)) AS loadsum"
+    )
+
+
+def issue_core_certificate(
+    keychain: KeyChain,
+    issuer: str = "admin",
+    representatives: int = 2,
+    issued_at: float = 0.0,
+    scope: ZonePath = ZonePath(),
+) -> AggregationCertificate:
+    """The core certificate signed by the infrastructure operator."""
+    return AggregationCertificate.issue(
+        CORE_AGGREGATION_NAME,
+        core_aggregation_source(representatives),
+        issuer,
+        keychain,
+        scope=scope,
+        issued_at=issued_at,
+    )

@@ -1,0 +1,136 @@
+"""Zone tables: one replicated table per zone on an agent's root path.
+
+A :class:`ZoneTable` maps *child zone label* → :class:`Row`.  Each
+agent replicates the tables of every zone between its leaf and the
+root (the "jigsaw puzzle" of §3: each participant stores just a part
+of the virtual database).  Tables reconcile by digest/delta
+anti-entropy (see :mod:`repro.gossip.antientropy`) and enforce the
+paper's size bound: "each of these tables is limited to some small
+size (say, 64 rows)".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Optional
+
+from repro.core.errors import ZoneError
+from repro.core.identifiers import ZonePath
+from repro.gossip.antientropy import Entry, Version, VersionedStore
+from repro.astrolabe.mib import Row
+
+#: Digest type exchanged during gossip: child label -> row version.
+ZoneDigest = Dict[str, Version]
+#: Delta type: child label -> versioned row entry.
+ZoneDelta = Dict[str, Entry[Row]]
+
+
+class ZoneTable:
+    """The replicated table of one zone."""
+
+    def __init__(self, path: ZonePath, max_rows: int = 64):
+        if max_rows < 2:
+            raise ZoneError("a zone table needs room for at least 2 rows")
+        self.path = path
+        self.max_rows = max_rows
+        self._store: VersionedStore[str, Row] = VersionedStore()
+
+    # -- row access -----------------------------------------------------
+
+    def put_row(self, label: str, row: Row) -> bool:
+        """Install ``row`` for child ``label`` if its version is newer.
+
+        The table bound is enforced only for *new* children: updates to
+        known children always apply, so a full zone keeps refreshing.
+        """
+        if label not in self._store and len(self._store) >= self.max_rows:
+            raise ZoneError(
+                f"zone {self.path} is full ({self.max_rows} children); "
+                f"cannot admit {label!r}"
+            )
+        return self._store.put(label, row, row.version)
+
+    def row(self, label: str) -> Optional[Row]:
+        return self._store.get(label)
+
+    def remove_row(self, label: str) -> None:
+        self._store.remove(label)
+
+    def labels(self) -> tuple[str, ...]:
+        return tuple(sorted(self._store.keys()))
+
+    def rows(self) -> Iterator[tuple[str, Row]]:
+        """(label, row) pairs in sorted label order (deterministic)."""
+        for label in self.labels():
+            row = self._store.get(label)
+            if row is not None:
+                yield label, row
+
+    def row_mappings(self) -> list[Mapping[str, object]]:
+        """Attribute maps for AQL evaluation.
+
+        Rows written by agents already carry their ``zone`` label as an
+        attribute, in which case the row's internal mapping is used
+        directly (zero copies — this is the hottest path in the whole
+        system); rows from other sources get a copied overlay.
+        """
+        mappings: list[Mapping[str, object]] = []
+        for label, row in self.rows():
+            mapping = row.mapping
+            if "zone" not in mapping:
+                overlay = dict(mapping)
+                overlay["zone"] = label
+                mapping = overlay
+            mappings.append(mapping)
+        return mappings
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._store
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def is_empty(self) -> bool:
+        return len(self._store) == 0
+
+    # -- anti-entropy -----------------------------------------------------
+
+    def digest(self) -> ZoneDigest:
+        return self._store.digest()
+
+    def delta_for(self, remote_digest: ZoneDigest) -> ZoneDelta:
+        return self._store.delta_for(remote_digest)
+
+    def apply_delta(
+        self, delta: ZoneDelta, min_timestamp: float = float("-inf")
+    ) -> list[str]:
+        """Merge rows, honouring the size bound for unseen children.
+
+        Entries older than ``min_timestamp`` are rejected: without this
+        check, anti-entropy resurrects expired rows from peers that
+        have not reaped them yet, and a crashed member's row circulates
+        forever instead of aging out.
+        """
+        changed: list[str] = []
+        for label, entry in delta.items():
+            if entry.version[0] < min_timestamp:
+                continue  # too old to admit: would resurrect a reaped row
+            if label not in self._store and len(self._store) >= self.max_rows:
+                continue  # zone full: refuse new members, keep existing fresh
+            if self._store.put_entry(label, entry):
+                changed.append(label)
+        return changed
+
+    def expire_older_than(self, cutoff_timestamp: float) -> list[str]:
+        """Reap rows whose owner stopped refreshing them.
+
+        This is how crashed members leave the zone ("node failure &
+        automatic zone reconfiguration", §10).
+        """
+        return self._store.expire((cutoff_timestamp, ""))
+
+    def wire_size(self) -> int:
+        return sum(row.wire_size() for _, row in self.rows())
+
+    def __repr__(self) -> str:
+        return f"ZoneTable({self.path}, rows={self.labels()})"

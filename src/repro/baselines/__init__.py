@@ -1,0 +1,56 @@
+"""Baselines: the content-delivery models of §1–§2 NewsWire replaces.
+
+* :class:`OriginServer` + :class:`PullClient` — periodic pull with
+  four request flavours (full page, if-modified-since, delta encoding,
+  RSS summaries);
+* :class:`PushOrigin` + :class:`PushSubscriber` — proprietary direct
+  one-to-many push;
+* :class:`CdnOrigin` + :class:`EdgeNode` — the hybrid push/pull CDN
+  (§1: push to "geographically distributed content delivery nodes,
+  from which the consumer still has to pull").
+"""
+
+from repro.baselines.cdn import (
+    CdnOrigin,
+    CdnStats,
+    EdgeNode,
+    EdgePush,
+    build_cdn,
+    nearest_edge,
+)
+from repro.baselines.direct_push import (
+    PushDelivery,
+    PushOrigin,
+    PushOriginStats,
+    PushSubscriber,
+)
+from repro.baselines.origin import (
+    ArticleRequest,
+    ArticleResponse,
+    OriginServer,
+    OriginStats,
+    PullRequest,
+    PullResponse,
+)
+from repro.baselines.pull import PullClient, PullClientStats
+
+__all__ = [
+    "ArticleRequest",
+    "CdnOrigin",
+    "CdnStats",
+    "EdgeNode",
+    "EdgePush",
+    "build_cdn",
+    "nearest_edge",
+    "ArticleResponse",
+    "OriginServer",
+    "OriginStats",
+    "PullClient",
+    "PullClientStats",
+    "PullRequest",
+    "PullResponse",
+    "PushDelivery",
+    "PushOrigin",
+    "PushOriginStats",
+    "PushSubscriber",
+]

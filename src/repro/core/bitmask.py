@@ -1,0 +1,131 @@
+"""Per-publisher category bitmasks — the paper's early prototype (§7).
+
+The proof-of-concept described in section 7 represents each publisher
+as one Astrolabe attribute whose value is "a small bit mask that
+corresponds to a specific set of news categories this publisher
+provides".  Subscriber masks are aggregated up the tree with binary OR
+exactly like the Bloom filters that replaced them; unlike Bloom
+filters, the mapping category → bit is exact (a registry), so there are
+no false positives but the scheme is "poorly scalable in the selection
+of publishers" — the trade-off experiment E5 quantifies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.core.errors import ConfigurationError, SubscriptionError
+
+
+class CategoryRegistry:
+    """Assigns stable bit indices to category names, up to a capacity.
+
+    One registry exists per publisher in the prototype scheme; all
+    parties (publisher, subscribers, forwarders) must share it, which is
+    exactly the configuration burden the Bloom scheme removes.
+    """
+
+    def __init__(self, capacity: int = 32):
+        if capacity <= 0:
+            raise ConfigurationError("capacity must be positive")
+        self.capacity = capacity
+        self._index: dict[str, int] = {}
+
+    def register(self, category: str) -> int:
+        """Idempotently assign a bit to ``category``."""
+        if category in self._index:
+            return self._index[category]
+        if len(self._index) >= self.capacity:
+            raise SubscriptionError(
+                f"category registry full ({self.capacity} categories)"
+            )
+        bit = len(self._index)
+        self._index[category] = bit
+        return bit
+
+    def bit_for(self, category: str) -> int:
+        try:
+            return self._index[category]
+        except KeyError:
+            raise SubscriptionError(f"unknown category: {category!r}") from None
+
+    def __contains__(self, category: str) -> bool:
+        return category in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def categories(self) -> tuple[str, ...]:
+        return tuple(self._index)
+
+
+class CategoryMask:
+    """A set of categories encoded as a bitmask against one registry."""
+
+    __slots__ = ("registry", "_bits")
+
+    def __init__(self, registry: CategoryRegistry, bits: int = 0):
+        self.registry = registry
+        self._bits = bits
+
+    @classmethod
+    def of(cls, registry: CategoryRegistry, categories: Iterable[str]) -> "CategoryMask":
+        mask = cls(registry)
+        for category in categories:
+            mask.add(category)
+        return mask
+
+    def add(self, category: str) -> None:
+        self._bits |= 1 << self.registry.bit_for(category)
+
+    def discard(self, category: str) -> None:
+        self._bits &= ~(1 << self.registry.bit_for(category))
+
+    def __contains__(self, category: str) -> bool:
+        return bool((self._bits >> self.registry.bit_for(category)) & 1)
+
+    def overlaps(self, other: "CategoryMask") -> bool:
+        """The forwarding test: any category in common?"""
+        self._check_compatible(other)
+        return bool(self._bits & other._bits)
+
+    def union(self, other: "CategoryMask") -> "CategoryMask":
+        self._check_compatible(other)
+        return CategoryMask(self.registry, self._bits | other._bits)
+
+    def __or__(self, other: "CategoryMask") -> "CategoryMask":
+        return self.union(other)
+
+    def __ior__(self, other: "CategoryMask") -> "CategoryMask":
+        self._check_compatible(other)
+        self._bits |= other._bits
+        return self
+
+    def _check_compatible(self, other: "CategoryMask") -> None:
+        if self.registry is not other.registry:
+            raise ConfigurationError("masks built against different registries")
+
+    @property
+    def is_empty(self) -> bool:
+        return self._bits == 0
+
+    def to_int(self) -> int:
+        return self._bits
+
+    def categories(self) -> Iterator[str]:
+        for category in self.registry.categories():
+            if category in self:
+                yield category
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, CategoryMask)
+            and self.registry is other.registry
+            and self._bits == other._bits
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.registry), self._bits))
+
+    def __repr__(self) -> str:
+        return f"CategoryMask({sorted(self.categories())})"

@@ -1,0 +1,60 @@
+"""Exception hierarchy shared by all NewsWire subsystems.
+
+Every error raised by this library derives from :class:`NewsWireError`
+so callers can catch library failures with a single ``except`` clause
+while still being able to discriminate by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class NewsWireError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class ConfigurationError(NewsWireError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class SimulationError(NewsWireError):
+    """The simulation kernel was used incorrectly (e.g. time travel)."""
+
+
+class NetworkError(NewsWireError):
+    """A message could not be sent (unknown node, node crashed, ...)."""
+
+
+class ZoneError(NewsWireError):
+    """A zone path is malformed or does not exist in the hierarchy."""
+
+
+class AggregationError(NewsWireError):
+    """An aggregation function failed to parse or evaluate."""
+
+
+class AqlSyntaxError(AggregationError):
+    """The AQL text could not be parsed."""
+
+
+class AqlEvaluationError(AggregationError):
+    """A parsed AQL program failed at evaluation time."""
+
+
+class CertificateError(NewsWireError):
+    """A certificate failed verification or was issued out of scope."""
+
+
+class PublishError(NewsWireError):
+    """A publisher attempted an operation its credentials do not allow."""
+
+
+class FlowControlError(PublishError):
+    """A publisher exceeded its configured publication rate."""
+
+
+class SubscriptionError(NewsWireError):
+    """A subscription expression is malformed."""
+
+
+class CacheError(NewsWireError):
+    """The message cache was used incorrectly."""

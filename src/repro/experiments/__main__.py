@@ -1,0 +1,81 @@
+"""Run every claim-reproduction experiment and print the reports.
+
+Usage::
+
+    python -m repro.experiments             # all of E1–E11 (tens of minutes)
+    python -m repro.experiments e1 e4 e10   # a selection
+    python -m repro.experiments --quick     # reduced sizes (a few minutes)
+
+Each report is also what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import (
+    run_e1,
+    run_e11,
+    run_e2,
+    run_e3,
+    run_e4,
+    run_e5,
+    run_e6,
+    run_e7,
+    run_e8,
+    run_e9,
+    run_e10,
+)
+
+FULL = {
+    "e1": lambda: run_e1(),
+    "e2": lambda: run_e2(),
+    "e3": lambda: run_e3(),
+    "e4": lambda: run_e4(),
+    "e5": lambda: run_e5(),
+    "e6": lambda: run_e6(),
+    "e7": lambda: run_e7(),
+    "e8": lambda: run_e8(),
+    "e9": lambda: run_e9(),
+    "e10": lambda: run_e10(),
+    "e11": lambda: run_e11(),
+}
+
+QUICK = {
+    "e1": lambda: run_e1(days=1.0),
+    "e2": lambda: run_e2(sizes=(100, 400), items=3),
+    "e3": lambda: run_e3(sizes=(100, 400), items=5),
+    "e4": lambda: run_e4(num_clients=100, items=5, flood_rates=(0.0, 2000.0)),
+    "e5": lambda: run_e5(),
+    "e6": lambda: run_e6(sizes=(100,), gossip_intervals=(2.0,)),
+    "e7": lambda: run_e7(num_nodes=120, items=5),
+    "e8": lambda: run_e8(num_nodes=128, branchings=(4, 64), items=3,
+                         measure_time=30.0),
+    "e9": lambda: run_e9(num_nodes=80, items=20),
+    "e10": lambda: run_e10(num_nodes=120),
+    "e11": lambda: run_e11(num_nodes=80, durations=(20.0,),
+                           buffer_capacities=(16, 256)),
+}
+
+
+def main(argv: list[str]) -> int:
+    quick = "--quick" in argv
+    names = [arg for arg in argv if not arg.startswith("-")]
+    runners = QUICK if quick else FULL
+    selected = names or list(runners)
+    unknown = [name for name in selected if name not in runners]
+    if unknown:
+        print(f"unknown experiments: {unknown}; choose from {list(runners)}")
+        return 2
+    for name in selected:
+        started = time.time()
+        result = runners[name]()
+        elapsed = time.time() - started
+        print(result.report())
+        print(f"[{name} completed in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,100 @@
+"""Shared machinery for the claim-reproduction experiments E1–E10."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.core.errors import FlowControlError
+from repro.core.identifiers import ItemId, ZonePath
+from repro.news.deployment import NewsWireSystem
+from repro.news.item import NewsItem
+from repro.workloads.populations import InterestModel
+from repro.workloads.traces import Publication
+
+#: Average English word length + space, for body size synthesis.
+WORD = "lorem "
+
+
+def body_text(words: int) -> str:
+    return (WORD * words)[: max(0, words * len(WORD) - 1)]
+
+
+def item_from_publication(
+    publication: Publication, publisher: str, serial: int
+) -> NewsItem:
+    return NewsItem(
+        item_id=ItemId(publisher, serial),
+        subject=publication.subject,
+        headline=publication.headline,
+        body=body_text(publication.body_words),
+        publisher=publisher,
+        categories=publication.categories,
+        urgency=publication.urgency,
+        published_at=publication.time,
+    )
+
+
+@dataclass
+class TraceDriveStats:
+    published: int = 0
+    flow_controlled: int = 0
+
+
+def drive_trace(
+    system: NewsWireSystem,
+    publisher_name: str,
+    trace: Sequence[Publication],
+    zone: Optional[ZonePath] = None,
+) -> TraceDriveStats:
+    """Schedule every publication of ``trace`` on the simulation.
+
+    Items a publisher cannot inject because of flow control are counted
+    and skipped (they would be retried by a real agent; experiments
+    size their rates to avoid this unless testing flow control).
+    """
+    stats = TraceDriveStats()
+    publisher = system.publisher(publisher_name)
+
+    def publish_one(publication: Publication) -> None:
+        try:
+            publisher.publish_news(
+                subject=publication.subject,
+                headline=publication.headline,
+                body=body_text(publication.body_words),
+                categories=publication.categories,
+                urgency=publication.urgency,
+                zone=zone,
+            )
+        except FlowControlError:
+            stats.flow_controlled += 1
+        else:
+            stats.published += 1
+
+    for publication in trace:
+        system.sim.call_at(publication.time, publish_one, publication)
+    return stats
+
+
+def expected_deliveries(
+    interests: InterestModel,
+    num_nodes: int,
+    trace: Sequence[Publication],
+    publisher_name: str,
+) -> Dict[str, int]:
+    """item-id string -> expected receiver count for a driven trace.
+
+    Assumes serials are assigned in trace order starting at 1 (true
+    when flow control never fires) and that *subject* matching defines
+    expectation; predicate-based narrowing is handled by the specific
+    experiments that use predicates.
+    """
+    by_subject: Dict[str, int] = {}
+    expected: Dict[str, int] = {}
+    for serial, publication in enumerate(trace, start=1):
+        count = by_subject.get(publication.subject)
+        if count is None:
+            count = interests.expected_receivers(num_nodes, publication.subject)
+            by_subject[publication.subject] = count
+        expected[str(ItemId(publisher_name, serial))] = count
+    return expected

@@ -1,0 +1,132 @@
+"""E2 — delivery latency vs system size (abstract, §9).
+
+Claim: "deliver news updates to hundreds of thousands of subscribers
+within tens of seconds of the moment of publishing"; §9: "in the order
+of tens of seconds, even if tens or hundreds of thousands of
+subscribers are active".
+
+Setup: NewsWire populations of increasing size, Zipf interests over
+tech subjects, hierarchical (zone-distance) latency.  After the
+population converges, a publisher injects items; we record the full
+publish→deliver latency distribution and the delivery ratio.
+
+What to expect: dissemination is a recursion over a tree of depth
+O(log_b N) with per-hop forwarding-queue and WAN delays, so latency
+grows logarithmically — comfortably inside "tens of seconds" at any
+simulated size — while the *subscription* state that routes it takes
+tens of seconds to converge (that path is measured separately in E6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.config import NewsWireConfig
+from repro.experiments.common import drive_trace, expected_deliveries
+from repro.metrics.collectors import delivery_latencies, delivery_ratio
+from repro.metrics.report import format_table
+from repro.metrics.stats import Summary
+from repro.news.deployment import build_newswire
+from repro.workloads.populations import InterestModel
+from repro.workloads.scenarios import TECH_CATEGORIES, subjects_for
+from repro.workloads.traces import Publication
+
+
+@dataclass(frozen=True)
+class E2Row:
+    num_nodes: int
+    items: int
+    expected: int
+    delivered: int
+    ratio: float
+    latency: Summary
+
+
+@dataclass
+class E2Result:
+    rows: list[E2Row]
+
+    def report(self) -> str:
+        return format_table(
+            ["nodes", "items", "expected", "delivered", "ratio",
+             "lat p50 (s)", "lat p90 (s)", "lat p99 (s)", "lat max (s)"],
+            [
+                (
+                    row.num_nodes,
+                    row.items,
+                    row.expected,
+                    row.delivered,
+                    row.ratio,
+                    row.latency.p50,
+                    row.latency.p90,
+                    row.latency.p99,
+                    row.latency.maximum,
+                )
+                for row in self.rows
+            ],
+            title=(
+                "E2: delivery latency vs population size "
+                "(paper claims tens of seconds at 10^5 subscribers)"
+            ),
+        )
+
+
+def run_e2(
+    sizes: Sequence[int] = (100, 500, 2000),
+    items: int = 5,
+    item_spacing: float = 1.0,
+    subscriptions_per_node: int = 3,
+    settle_rounds: float = 3.0,
+    drain_time: float = 30.0,
+    seed: int = 0,
+    config: NewsWireConfig = None,
+) -> E2Result:
+    subjects = subjects_for(("newswire",), TECH_CATEGORIES)
+    rows: list[E2Row] = []
+    for num_nodes in sizes:
+        cfg = config if config is not None else NewsWireConfig()
+        interests = InterestModel(
+            subjects=subjects,
+            subscriptions_per_node=subscriptions_per_node,
+            seed=seed,
+        )
+        system = build_newswire(
+            num_nodes,
+            cfg,
+            publisher_names=("newswire",),
+            publisher_rate=50.0,
+            subscriptions_for=interests.subscriptions_for,
+            seed=seed + num_nodes,
+        )
+        system.run_for(settle_rounds * cfg.gossip.interval)
+        start = system.sim.now
+        trace = [
+            Publication(
+                time=start + index * item_spacing,
+                subject=subjects[index % len(subjects)],
+                headline=f"story {index}",
+                body_words=200,
+            )
+            for index in range(items)
+        ]
+        drive_trace(system, "newswire", trace)
+        system.sim.run_until(start + items * item_spacing + drain_time)
+
+        expected = expected_deliveries(interests, num_nodes, trace, "newswire")
+        latencies = delivery_latencies(system.trace)
+        rows.append(
+            E2Row(
+                num_nodes=num_nodes,
+                items=items,
+                expected=sum(expected.values()),
+                delivered=system.trace.count("deliver"),
+                ratio=delivery_ratio(system.trace, expected),
+                latency=Summary.of(latencies),
+            )
+        )
+    return E2Result(rows)
+
+
+if __name__ == "__main__":
+    print(run_e2().report())

@@ -1,0 +1,138 @@
+"""E6 — subscription propagation time (paper §6).
+
+Claim: "Eventually (within tens of seconds) the root zone will have
+all the information on whether there are leaf nodes in the system that
+have subscribed to particular publications."
+
+Setup: a converged population; one leaf adds a subscription to a
+subject nobody else has.  We measure
+
+* **root visibility**: when the subject's filter bit is set in the
+  root-table view of a node in a *different* top-level zone;
+* **end-to-end readiness**: when an item published on that subject
+  actually reaches the new subscriber.
+
+Swept over population size and gossip interval — the paper's "tens of
+seconds" presumes second-scale gossip rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.config import GossipConfig, NewsWireConfig
+from repro.metrics.report import format_table
+from repro.news.deployment import build_newswire
+from repro.pubsub.subscription import Subscription
+from repro.workloads.scenarios import TECH_CATEGORIES, subjects_for
+
+
+@dataclass(frozen=True)
+class E6Row:
+    num_nodes: int
+    gossip_interval: float
+    root_visibility_s: Optional[float]   # None = not within the horizon
+    first_delivery_s: Optional[float]
+
+
+@dataclass
+class E6Result:
+    rows: list[E6Row]
+
+    def report(self) -> str:
+        return format_table(
+            ["nodes", "gossip interval (s)", "root visibility (s)",
+             "publish->deliver ready (s)"],
+            [
+                (
+                    r.num_nodes,
+                    r.gossip_interval,
+                    "timeout" if r.root_visibility_s is None else r.root_visibility_s,
+                    "timeout" if r.first_delivery_s is None else r.first_delivery_s,
+                )
+                for r in self.rows
+            ],
+            title=(
+                "E6: new-subscription propagation to the root "
+                "(paper claims within tens of seconds)"
+            ),
+        )
+
+
+def run_e6(
+    sizes: Sequence[int] = (100, 500, 2000),
+    gossip_intervals: Sequence[float] = (2.0, 5.0),
+    horizon: float = 300.0,
+    seed: int = 0,
+) -> E6Result:
+    base_subjects = subjects_for(("newswire",), TECH_CATEGORIES)
+    fresh_subject = "newswire/raresubject"
+    rows: list[E6Row] = []
+    for num_nodes in sizes:
+        for interval in gossip_intervals:
+            config = NewsWireConfig(
+                gossip=GossipConfig(interval=interval, jitter=min(1.0, interval / 2))
+            )
+            system = build_newswire(
+                num_nodes,
+                config,
+                publisher_names=("newswire",),
+                subscriptions_for=lambda i: (
+                    Subscription(base_subjects[i % len(base_subjects)]),
+                ),
+                seed=seed + num_nodes,
+            )
+            system.run_for(2 * interval)
+
+            # The new subscriber: last node (different top zone than node 0).
+            subscriber = system.nodes[-1]
+            observer = system.nodes[1]  # same top zone as the publisher
+            publisher = system.publisher("newswire")
+            positions = subscriber.scheme.hints_for(fresh_subject, "newswire")
+
+            t_subscribe = system.sim.now
+            subscriber.subscribe(Subscription(fresh_subject))
+
+            visibility: list[float] = []
+
+            def check_root() -> None:
+                if visibility:
+                    return
+                root = observer.zones[0]
+                subs = observer.evaluate_zone(root).get("subs")
+                if isinstance(subs, int) and all(
+                    (subs >> p) & 1 for p in positions
+                ):
+                    visibility.append(system.sim.now - t_subscribe)
+
+            probe = system.sim.call_every(interval / 4, check_root)
+            system.sim.run_until(t_subscribe + horizon)
+            probe.cancel()
+
+            first_delivery: Optional[float] = None
+            if visibility:
+                # Now measure end-to-end: publish on the fresh subject.
+                t_publish = system.sim.now
+                publisher.publish_news(fresh_subject, "for the new subscriber")
+                system.sim.run_until(t_publish + 60.0)
+                for event in system.trace.events("deliver"):
+                    if (
+                        event.get("node") == str(subscriber.node_id)
+                        and event.time >= t_publish
+                    ):
+                        first_delivery = event.time - t_publish
+                        break
+            rows.append(
+                E6Row(
+                    num_nodes=num_nodes,
+                    gossip_interval=interval,
+                    root_visibility_s=visibility[0] if visibility else None,
+                    first_delivery_s=first_delivery,
+                )
+            )
+    return E6Result(rows)
+
+
+if __name__ == "__main__":
+    print(run_e6().report())

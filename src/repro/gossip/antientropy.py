@@ -1,0 +1,136 @@
+"""Push-pull anti-entropy over versioned key/value stores.
+
+This is the reconciliation engine under Astrolabe's epidemic protocol:
+each agent keeps a :class:`VersionedStore` per replicated zone table,
+and a gossip exchange is *digest → delta → delta* — the initiator sends
+a version digest, the responder returns entries the initiator is
+missing plus its own digest, and the initiator pushes back what the
+responder lacks.  Merging is by version with a deterministic tiebreak,
+which makes replica state a join-semilattice: merges are commutative,
+associative and idempotent (hypothesis-tested), so replicas converge —
+the paper's "guaranteed eventual consistency".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generic, Hashable, Iterator, Optional, Tuple, TypeVar
+
+KeyT = TypeVar("KeyT", bound=Hashable)
+ValueT = TypeVar("ValueT")
+
+#: Version: (timestamp, writer-tiebreak).  Timestamps come from the row
+#: owner's clock; the writer id breaks exact ties deterministically so
+#: every replica resolves a conflict the same way.
+Version = Tuple[float, str]
+
+
+@dataclass(frozen=True)
+class Entry(Generic[ValueT]):
+    """A versioned value as shipped between replicas."""
+
+    version: Version
+    value: ValueT
+
+
+class VersionedStore(Generic[KeyT, ValueT]):
+    """Last-writer-wins replicated map with digest/delta reconciliation."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[KeyT, Entry[ValueT]] = {}
+
+    # -- local access ------------------------------------------------------
+
+    def put(self, key: KeyT, value: ValueT, version: Version) -> bool:
+        """Install ``value`` if ``version`` beats the stored one."""
+        current = self._entries.get(key)
+        if current is not None and current.version >= version:
+            return False
+        self._entries[key] = Entry(version, value)
+        return True
+
+    def get(self, key: KeyT) -> Optional[ValueT]:
+        entry = self._entries.get(key)
+        return entry.value if entry is not None else None
+
+    def entry(self, key: KeyT) -> Optional[Entry[ValueT]]:
+        return self._entries.get(key)
+
+    def version(self, key: KeyT) -> Optional[Version]:
+        entry = self._entries.get(key)
+        return entry.version if entry is not None else None
+
+    def remove(self, key: KeyT) -> None:
+        """Forget a key locally (e.g. a zone member that departed).
+
+        Note: anti-entropy may resurrect it from a peer that still has
+        it; true deletion requires the owner to stop refreshing the row
+        and expiry to reap it (see Astrolabe's row timeouts).
+        """
+        self._entries.pop(key, None)
+
+    def keys(self) -> Iterator[KeyT]:
+        return iter(self._entries)
+
+    def items(self) -> Iterator[tuple[KeyT, ValueT]]:
+        return ((key, entry.value) for key, entry in self._entries.items())
+
+    def __contains__(self, key: KeyT) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- reconciliation -----------------------------------------------------
+
+    def digest(self) -> Dict[KeyT, Version]:
+        """Version summary sent to a gossip partner."""
+        return {key: entry.version for key, entry in self._entries.items()}
+
+    def delta_for(self, remote_digest: Dict[KeyT, Version]) -> Dict[KeyT, Entry[ValueT]]:
+        """Entries the remote replica is missing or has stale."""
+        delta: Dict[KeyT, Entry[ValueT]] = {}
+        for key, entry in self._entries.items():
+            remote_version = remote_digest.get(key)
+            if remote_version is None or remote_version < entry.version:
+                delta[key] = entry
+        return delta
+
+    def put_entry(self, key: KeyT, entry: Entry[ValueT]) -> bool:
+        """Install a received entry if newer, *sharing* the entry object.
+
+        Entries are immutable, so replicas can alias them; this keeps
+        memory linear in distinct rows rather than replicas × rows,
+        which matters when simulating 10^5 agents.
+        """
+        current = self._entries.get(key)
+        if current is not None and current.version >= entry.version:
+            return False
+        self._entries[key] = entry
+        return True
+
+    def apply_delta(self, delta: Dict[KeyT, Entry[ValueT]]) -> list[KeyT]:
+        """Merge a received delta; returns keys whose value changed."""
+        changed: list[KeyT] = []
+        for key, entry in delta.items():
+            if self.put_entry(key, entry):
+                changed.append(key)
+        return changed
+
+    def merge_from(self, other: "VersionedStore[KeyT, ValueT]") -> list[KeyT]:
+        """Full-state merge (used by tests and state transfer)."""
+        return self.apply_delta(dict(other._entries))
+
+    def expire(self, cutoff: Version) -> list[KeyT]:
+        """Drop entries with versions strictly older than ``cutoff``.
+
+        Astrolabe reaps rows whose owner has stopped refreshing them;
+        expiry is how crashed members eventually leave zone tables.
+        """
+        stale = [key for key, entry in self._entries.items() if entry.version < cutoff]
+        for key in stale:
+            del self._entries[key]
+        return stale
+
+    def __repr__(self) -> str:
+        return f"VersionedStore({len(self._entries)} entries)"

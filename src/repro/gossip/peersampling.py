@@ -1,0 +1,66 @@
+"""Gossip partner selection.
+
+Astrolabe agents gossip within each zone on their root path; which
+peer(s) they contact each round determines epidemic spreading speed.
+Two classic strategies are provided:
+
+* :class:`UniformSelector` — independent uniform choice each round
+  (the textbook epidemic model; expected O(log n) rounds to saturate).
+* :class:`ShuffleSelector` — random permutation sweep: every candidate
+  is contacted once before any is contacted twice, which removes the
+  coupon-collector tail at small zone sizes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generic, Hashable, Sequence, TypeVar
+
+PeerT = TypeVar("PeerT", bound=Hashable)
+
+
+class UniformSelector(Generic[PeerT]):
+    """Pick ``fanout`` peers uniformly at random, without replacement."""
+
+    def __init__(self, rng: random.Random, fanout: int = 1):
+        self._rng = rng
+        self.fanout = fanout
+
+    def select(self, candidates: Sequence[PeerT]) -> list[PeerT]:
+        if not candidates:
+            return []
+        count = min(self.fanout, len(candidates))
+        return self._rng.sample(list(candidates), count)
+
+
+class ShuffleSelector(Generic[PeerT]):
+    """Sweep a random permutation of the candidate set.
+
+    The permutation is reshuffled when exhausted or when the candidate
+    set changes (membership churn invalidates the sweep).
+    """
+
+    def __init__(self, rng: random.Random, fanout: int = 1):
+        self._rng = rng
+        self.fanout = fanout
+        self._order: list[PeerT] = []
+        self._cursor = 0
+        self._known: frozenset[PeerT] = frozenset()
+
+    def select(self, candidates: Sequence[PeerT]) -> list[PeerT]:
+        if not candidates:
+            return []
+        current = frozenset(candidates)
+        if current != self._known:
+            self._known = current
+            self._order = list(candidates)
+            self._rng.shuffle(self._order)
+            self._cursor = 0
+        picked: list[PeerT] = []
+        for _ in range(min(self.fanout, len(self._order))):
+            if self._cursor >= len(self._order):
+                self._rng.shuffle(self._order)
+                self._cursor = 0
+            picked.append(self._order[self._cursor])
+            self._cursor += 1
+        return picked

@@ -1,0 +1,73 @@
+"""Plain-text tables and series — how experiments print their results.
+
+The paper has no numbered tables/figures (position paper), so every
+experiment prints its claim-derived table through these helpers; the
+EXPERIMENTS.md records the outputs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+def format_value(value: Any) -> str:
+    if isinstance(value, float):
+        if value != 0 and abs(value) < 0.01:
+            return f"{value:.2e}"
+        return f"{value:,.3f}".rstrip("0").rstrip(".")
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: str = "",
+) -> str:
+    """Fixed-width table with right-aligned numeric columns."""
+    rendered = [[format_value(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rendered:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: str = "",
+) -> None:
+    print(format_table(headers, rows, title))
+
+
+def format_series(
+    name: str,
+    points: Iterable[tuple[Any, Any]],
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """A printable figure: named (x, y) series."""
+    lines = [f"series: {name} ({x_label} -> {y_label})"]
+    for x, y in points:
+        lines.append(f"  {format_value(x)}\t{format_value(y)}")
+    return "\n".join(lines)
+
+
+def print_series(
+    name: str,
+    points: Iterable[tuple[Any, Any]],
+    x_label: str = "x",
+    y_label: str = "y",
+) -> None:
+    print(format_series(name, points, x_label, y_label))

@@ -1,0 +1,24 @@
+"""Application-level multicast on Astrolabe (paper §5, §9)."""
+
+from repro.multicast.messages import (
+    Envelope,
+    ForwardMsg,
+    RepairDigest,
+    RepairRequest,
+    RepairResponse,
+    RoutingHints,
+)
+from repro.multicast.node import MulticastNode
+from repro.multicast.queues import ForwardingQueues, QueueStats
+
+__all__ = [
+    "Envelope",
+    "ForwardMsg",
+    "ForwardingQueues",
+    "MulticastNode",
+    "QueueStats",
+    "RepairDigest",
+    "RepairRequest",
+    "RepairResponse",
+    "RoutingHints",
+]

@@ -1,0 +1,33 @@
+"""NewsWire application layer: items, caches, publishers, feeds (§7–§10)."""
+
+from repro.news.cache import CacheStats, MessageCache
+from repro.news.deployment import (
+    NEWSWIRE_TRACE_KINDS,
+    NewsWireSystem,
+    build_newswire,
+)
+from repro.news.feeds import FeedAgent, FeedEntry, SyntheticFeed
+from repro.news.formats import from_nitf, to_nitf
+from repro.news.item import NewsItem
+from repro.news.messages import StateTransferRequest, StateTransferResponse
+from repro.news.node import NewsWireNode
+from repro.news.rss import channel_to_rss, rss_to_entries
+
+__all__ = [
+    "CacheStats",
+    "FeedAgent",
+    "FeedEntry",
+    "MessageCache",
+    "NEWSWIRE_TRACE_KINDS",
+    "NewsItem",
+    "NewsWireNode",
+    "NewsWireSystem",
+    "StateTransferRequest",
+    "StateTransferResponse",
+    "SyntheticFeed",
+    "build_newswire",
+    "channel_to_rss",
+    "from_nitf",
+    "rss_to_entries",
+    "to_nitf",
+]

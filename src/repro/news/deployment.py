@@ -1,0 +1,127 @@
+"""Builder for complete NewsWire systems: subscribers + publishers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.core.config import NewsWireConfig
+from repro.core.identifiers import ZonePath
+from repro.sim.network import LatencyModel
+from repro.astrolabe.certificates import PublisherCertificate
+from repro.astrolabe.deployment import ADMIN_PRINCIPAL, AstrolabeDeployment
+from repro.news.node import NewsWireNode
+from repro.pubsub.engine import PUBSUB_TRACE_KINDS, build_pubsub
+from repro.pubsub.schemes import SubscriptionScheme
+from repro.pubsub.subscription import Subscription
+
+#: Trace kinds the news-layer experiments additionally need.
+NEWSWIRE_TRACE_KINDS = PUBSUB_TRACE_KINDS | {
+    "auth-rejected",
+    "flow-control",
+    "state-transfer",
+}
+
+
+@dataclass
+class NewsWireSystem:
+    """A running NewsWire: the deployment plus the publisher roster."""
+
+    deployment: AstrolabeDeployment
+    publishers: Dict[str, NewsWireNode]
+
+    @property
+    def sim(self):
+        return self.deployment.sim
+
+    @property
+    def network(self):
+        return self.deployment.network
+
+    @property
+    def trace(self):
+        return self.deployment.trace
+
+    @property
+    def nodes(self) -> list[NewsWireNode]:
+        return self.deployment.agents  # type: ignore[return-value]
+
+    @property
+    def subscribers(self) -> list[NewsWireNode]:
+        roster = set(id(node) for node in self.publishers.values())
+        return [node for node in self.nodes if id(node) not in roster]
+
+    def publisher(self, name: str) -> NewsWireNode:
+        return self.publishers[name]
+
+    def run_for(self, duration: float) -> None:
+        self.sim.run_for(duration)
+
+    def grant_publisher(
+        self,
+        node: NewsWireNode,
+        name: str,
+        max_rate: float = 10.0,
+        scope: ZonePath = ZonePath(),
+    ) -> PublisherCertificate:
+        """Enrol ``node`` as publisher ``name`` (admin-signed)."""
+        keychain = self.deployment.keychain
+        if name not in keychain:
+            keychain.register(name)
+        certificate = PublisherCertificate.issue(
+            name,
+            ADMIN_PRINCIPAL,
+            keychain,
+            max_rate=max_rate,
+            scope=scope,
+        )
+        node.grant_publisher(certificate)
+        self.publishers[name] = node
+        return certificate
+
+
+def build_newswire(
+    num_nodes: int,
+    config: Optional[NewsWireConfig] = None,
+    *,
+    publisher_names: Sequence[str] = ("newswire",),
+    publisher_rate: float = 10.0,
+    scheme: Optional[SubscriptionScheme] = None,
+    subscriptions_for: Optional[Callable[[int], Sequence[Subscription]]] = None,
+    seed: int = 0,
+    latency: Optional[LatencyModel] = None,
+    loss_rate: float = 0.0,
+    bandwidth: Optional[float] = None,
+    ingress_bandwidth: Optional[float] = None,
+    trace_kinds: Optional[set[str]] = None,
+) -> NewsWireSystem:
+    """Stand up a NewsWire with ``num_nodes`` participants.
+
+    The first ``len(publisher_names)`` nodes double as publishers (in
+    NewsWire a publisher "is just another Astrolabe leaf node", §8);
+    the rest are pure subscriber/forwarder participants.
+    """
+    config = (config or NewsWireConfig()).validate()
+    deployment = build_pubsub(
+        num_nodes,
+        config,
+        scheme=scheme,
+        subscriptions_for=subscriptions_for,
+        seed=seed,
+        latency=latency,
+        loss_rate=loss_rate,
+        bandwidth=bandwidth,
+        ingress_bandwidth=ingress_bandwidth,
+        trace_kinds=(
+            trace_kinds if trace_kinds is not None else set(NEWSWIRE_TRACE_KINDS)
+        ),
+        node_class=NewsWireNode,
+    )
+    system = NewsWireSystem(deployment, {})
+    for index, name in enumerate(publisher_names):
+        if index >= num_nodes:
+            break
+        node = deployment.agents[index]
+        assert isinstance(node, NewsWireNode)
+        system.grant_publisher(node, name, max_rate=publisher_rate)
+    return system

@@ -1,0 +1,127 @@
+"""NITF-style serialization of news items (paper §7).
+
+"The news articles are published in the ICE, NITF and NewsML formats,
+which are all XML standards used in the news industry."  The early
+prototype — and this reproduction — uses the simpler NITF shape: a
+``<head>`` with the docdata/metadata and a ``<body>`` with headline and
+text.  The subset implemented here round-trips every
+:class:`~repro.news.item.NewsItem` field, which is all the routing and
+caching layers consume.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Optional
+
+from repro.core.errors import PublishError
+from repro.core.identifiers import ItemId
+from repro.news.item import NewsItem
+
+
+def to_nitf(item: NewsItem) -> str:
+    """Serialize ``item`` as an NITF document string."""
+    nitf = ET.Element("nitf")
+    head = ET.SubElement(nitf, "head")
+    docdata = ET.SubElement(head, "docdata")
+    ET.SubElement(
+        docdata,
+        "doc-id",
+        {
+            "regsrc": item.publisher,
+            "id-string": f"{item.item_id.publisher}:{item.item_id.serial}",
+            "revision": str(item.item_id.revision),
+        },
+    )
+    ET.SubElement(docdata, "urgency", {"ed-urg": str(item.urgency)})
+    ET.SubElement(docdata, "date.issue", {"norm": repr(item.published_at)})
+    if item.supersedes is not None:
+        ET.SubElement(
+            docdata,
+            "ed-msg",
+            {
+                "info": "supersedes",
+                "id-string": f"{item.supersedes.publisher}:{item.supersedes.serial}",
+                "revision": str(item.supersedes.revision),
+            },
+        )
+    ET.SubElement(docdata, "du-key", {"key": item.subject})
+    if item.signature:
+        ET.SubElement(docdata, "ed-msg", {"info": "signature", "id-string": item.signature})
+    meta = ET.SubElement(head, "pubdata", {"name": item.publisher})
+    for category in item.categories:
+        ET.SubElement(meta, "fixture", {"fix-id": category})
+    for keyword in item.keywords:
+        ET.SubElement(meta, "key-list-keyword", {"key": keyword})
+    body = ET.SubElement(nitf, "body")
+    head_el = ET.SubElement(body, "body.head")
+    hl = ET.SubElement(head_el, "hedline")
+    hl1 = ET.SubElement(hl, "hl1")
+    hl1.text = item.headline
+    content = ET.SubElement(body, "body.content")
+    paragraph = ET.SubElement(content, "p")
+    paragraph.text = item.body
+    return ET.tostring(nitf, encoding="unicode")
+
+
+def _parse_item_id(text: str, revision: str) -> ItemId:
+    publisher, _, serial = text.rpartition(":")
+    if not publisher:
+        raise PublishError(f"malformed doc-id {text!r}")
+    return ItemId(publisher, int(serial), int(revision))
+
+
+def from_nitf(document: str) -> NewsItem:
+    """Parse an NITF document produced by :func:`to_nitf`."""
+    try:
+        nitf = ET.fromstring(document)
+    except ET.ParseError as exc:
+        raise PublishError(f"malformed NITF document: {exc}") from exc
+    docdata = nitf.find("./head/docdata")
+    if docdata is None:
+        raise PublishError("NITF document lacks <docdata>")
+    doc_id = docdata.find("doc-id")
+    if doc_id is None:
+        raise PublishError("NITF document lacks <doc-id>")
+    item_id = _parse_item_id(
+        doc_id.get("id-string", ""), doc_id.get("revision", "0")
+    )
+
+    supersedes: Optional[ItemId] = None
+    signature = ""
+    for ed_msg in docdata.findall("ed-msg"):
+        if ed_msg.get("info") == "supersedes":
+            supersedes = _parse_item_id(
+                ed_msg.get("id-string", ""), ed_msg.get("revision", "0")
+            )
+        elif ed_msg.get("info") == "signature":
+            signature = ed_msg.get("id-string", "")
+
+    urgency_el = docdata.find("urgency")
+    date_el = docdata.find("date.issue")
+    du_key = docdata.find("du-key")
+    pubdata = nitf.find("./head/pubdata")
+    headline_el = nitf.find("./body/body.head/hedline/hl1")
+    paragraph = nitf.find("./body/body.content/p")
+
+    return NewsItem(
+        item_id=item_id,
+        subject=du_key.get("key", "") if du_key is not None else "",
+        headline=(headline_el.text or "") if headline_el is not None else "",
+        body=(paragraph.text or "") if paragraph is not None else "",
+        publisher=doc_id.get("regsrc", ""),
+        categories=tuple(
+            fixture.get("fix-id", "")
+            for fixture in (pubdata.findall("fixture") if pubdata is not None else ())
+        ),
+        keywords=tuple(
+            kw.get("key", "")
+            for kw in (
+                pubdata.findall("key-list-keyword") if pubdata is not None else ()
+            )
+        ),
+        urgency=int(urgency_el.get("ed-urg", "5")) if urgency_el is not None else 5,
+        published_at=float(date_el.get("norm", "0")) if date_el is not None else 0.0,
+        supersedes=supersedes,
+        signature=signature,
+    )

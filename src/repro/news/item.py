@@ -1,0 +1,116 @@
+"""News items and their metadata (paper §7, §9).
+
+Items follow the NITF model the paper's early prototype uses: content
+(headline/body) plus industry-standard metadata — publisher, category
+subjects, keywords, urgency, and a revision history.  The metadata is
+what subscriptions select on ("the standard description of the
+news-item meta-data that is used in the construction of subscriptions")
+and what the cache uses for garbage collection and revision fusion.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass, replace
+from typing import Mapping, Optional
+
+from repro.core.errors import PublishError
+from repro.core.identifiers import ItemId
+
+
+@dataclass(frozen=True)
+class NewsItem:
+    """One published news item (possibly a revision of an earlier one)."""
+
+    item_id: ItemId
+    subject: str                      # routing subject, e.g. "slashdot/tech"
+    headline: str
+    body: str = ""
+    publisher: str = ""
+    categories: tuple[str, ...] = ()
+    keywords: tuple[str, ...] = ()
+    urgency: int = 5                  # NITF urgency: 1 (flash) .. 8 (routine)
+    published_at: float = 0.0
+    supersedes: Optional[ItemId] = None
+    signature: str = ""               # publisher authenticity (HMAC; see §8)
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.urgency <= 9:
+            raise PublishError(f"urgency must be in [1, 9], got {self.urgency}")
+
+    @property
+    def revision(self) -> int:
+        return self.item_id.revision
+
+    @property
+    def story_key(self) -> tuple[str, int]:
+        """Identity shared by all revisions of one story."""
+        return self.item_id.story_key
+
+    def as_metadata(self) -> Mapping[str, object]:
+        """The mapping subscription predicates evaluate against (§8)."""
+        return {
+            "subject": self.subject,
+            "publisher": self.publisher,
+            "headline": self.headline,
+            "categories": self.categories,
+            "keywords": self.keywords,
+            "urgency": self.urgency,
+            "published_at": self.published_at,
+            "revision": self.revision,
+            "wordcount": len(self.body.split()),
+        }
+
+    def wire_size(self) -> int:
+        return 200 + len(self.headline) + len(self.body) + 16 * (
+            len(self.categories) + len(self.keywords)
+        )
+
+    def revised(
+        self,
+        headline: Optional[str] = None,
+        body: Optional[str] = None,
+        published_at: Optional[float] = None,
+    ) -> "NewsItem":
+        """The next revision of this story (same story key, revision+1)."""
+        return replace(
+            self,
+            item_id=self.item_id.with_revision(self.revision + 1),
+            headline=headline if headline is not None else self.headline,
+            body=body if body is not None else self.body,
+            published_at=(
+                published_at if published_at is not None else self.published_at
+            ),
+            supersedes=self.item_id,
+            signature="",
+        )
+
+    # -- authenticity -------------------------------------------------------
+
+    def signing_payload(self) -> bytes:
+        """Canonical bytes covered by the publisher's signature."""
+        parts = (
+            str(self.item_id),
+            self.subject,
+            self.headline,
+            self.body,
+            self.publisher,
+            "|".join(self.categories),
+            str(self.urgency),
+        )
+        return "\x1f".join(parts).encode("utf-8")
+
+    def signed(self, secret: bytes) -> "NewsItem":
+        signature = hmac.new(
+            secret, self.signing_payload(), hashlib.sha256
+        ).hexdigest()
+        return replace(self, signature=signature)
+
+    def verify_signature(self, secret: bytes) -> bool:
+        if not self.signature:
+            return False
+        expected = hmac.new(
+            secret, self.signing_payload(), hashlib.sha256
+        ).hexdigest()
+        return hmac.compare_digest(expected, self.signature)

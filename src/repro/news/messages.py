@@ -1,0 +1,28 @@
+"""News-layer wire messages: the joining-node state transfer (§9)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.news.item import NewsItem
+
+
+@dataclass
+class StateTransferRequest:
+    """A joiner asks a running member for recent items of interest."""
+
+    subjects: tuple[str, ...]
+    limit: int
+    wire_size: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.wire_size = 32 + 16 * len(self.subjects)
+
+
+@dataclass
+class StateTransferResponse:
+    items: tuple[NewsItem, ...]
+    wire_size: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.wire_size = 32 + sum(item.wire_size() for item in self.items)

@@ -1,0 +1,107 @@
+"""RSS 2.0 channel serialization — the legacy side of §10's bridge.
+
+"We have already developed some agents that are capable of
+transforming the current RSS/HTML information from some publishers
+into message streams."  The :class:`~repro.news.feeds.SyntheticFeed`
+models the channel as Python objects; this module gives it the actual
+wire form: an RSS 2.0 document snapshot (what a poll would download)
+and the parser a bootstrap agent runs over it.
+
+Mapping (round-trippable for the fields the bridge consumes):
+
+=============  =====================================
+FeedEntry      RSS 2.0 item
+=============  =====================================
+headline       <title>
+body           <description>
+subject        <category domain="newswire:subject">
+categories     <category> (plain)
+urgency        <newswire:urgency> (extension element)
+available_at   <pubDate> (seconds since epoch 0 of the
+               simulation, carried in a comment-free
+               numeric form for determinism)
+=============  =====================================
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Sequence
+
+from repro.core.errors import PublishError
+from repro.news.feeds import FeedEntry
+
+#: Namespace for the extension elements the bridge needs.
+NS = "urn:repro:newswire"
+_SUBJECT_DOMAIN = "newswire:subject"
+
+
+def channel_to_rss(
+    name: str,
+    entries: Sequence[FeedEntry],
+    link: str = "",
+    description: str = "",
+) -> str:
+    """Serialize a channel snapshot as an RSS 2.0 document."""
+    ET.register_namespace("newswire", NS)
+    rss = ET.Element("rss", {"version": "2.0"})
+    channel = ET.SubElement(rss, "channel")
+    ET.SubElement(channel, "title").text = name
+    ET.SubElement(channel, "link").text = link or f"https://{name}.example/"
+    ET.SubElement(channel, "description").text = description or f"{name} feed"
+    for entry in entries:
+        item = ET.SubElement(channel, "item")
+        ET.SubElement(item, "title").text = entry.headline
+        ET.SubElement(item, "description").text = entry.body
+        ET.SubElement(item, "pubDate").text = repr(entry.available_at)
+        subject = ET.SubElement(item, "category", {"domain": _SUBJECT_DOMAIN})
+        subject.text = entry.subject
+        for category in entry.categories:
+            ET.SubElement(item, "category").text = category
+        ET.SubElement(item, f"{{{NS}}}urgency").text = str(entry.urgency)
+    return ET.tostring(rss, encoding="unicode")
+
+
+def rss_to_entries(document: str) -> list[FeedEntry]:
+    """Parse an RSS 2.0 document back into feed entries.
+
+    Tolerates foreign channels: missing extension elements fall back to
+    defaults (urgency 5; the subject defaults to the channel title so
+    a plain blog feed still maps onto *some* routing subject).
+    """
+    try:
+        rss = ET.fromstring(document)
+    except ET.ParseError as exc:
+        raise PublishError(f"malformed RSS document: {exc}") from exc
+    channel = rss.find("channel")
+    if channel is None:
+        raise PublishError("RSS document lacks <channel>")
+    channel_title = (channel.findtext("title") or "feed").strip()
+
+    entries: list[FeedEntry] = []
+    for item in channel.findall("item"):
+        subject = None
+        categories: list[str] = []
+        for category in item.findall("category"):
+            if category.get("domain") == _SUBJECT_DOMAIN:
+                subject = (category.text or "").strip()
+            else:
+                categories.append((category.text or "").strip())
+        urgency_text = item.findtext(f"{{{NS}}}urgency")
+        pub_date = item.findtext("pubDate")
+        try:
+            available_at = float(pub_date) if pub_date else 0.0
+        except ValueError:
+            available_at = 0.0
+        entries.append(
+            FeedEntry(
+                available_at=available_at,
+                subject=subject or channel_title,
+                headline=(item.findtext("title") or "").strip() or "(untitled)",
+                body=item.findtext("description") or "",
+                categories=tuple(categories),
+                urgency=int(urgency_text) if urgency_text else 5,
+            )
+        )
+    entries.sort(key=lambda entry: entry.available_at)
+    return entries

@@ -1,0 +1,25 @@
+"""Publish/subscribe: Bloom-filter selective forwarding (paper §6–§7)."""
+
+from repro.pubsub.engine import PUBSUB_TRACE_KINDS, build_pubsub
+from repro.pubsub.node import PubSubNode, item_metadata
+from repro.pubsub.schemes import (
+    BloomScheme,
+    PrefixBloomScheme,
+    PublisherMaskScheme,
+    SubscriptionScheme,
+    categories_registry,
+)
+from repro.pubsub.subscription import Subscription
+
+__all__ = [
+    "BloomScheme",
+    "PrefixBloomScheme",
+    "PUBSUB_TRACE_KINDS",
+    "PubSubNode",
+    "PublisherMaskScheme",
+    "Subscription",
+    "SubscriptionScheme",
+    "build_pubsub",
+    "categories_registry",
+    "item_metadata",
+]

@@ -1,0 +1,171 @@
+"""The publish/subscribe node: selective forwarding over multicast (§6).
+
+"Basically, the solution extends the Astrolabe-based application-level
+multicast with a selective forwarding mechanism": a
+:class:`PubSubNode` is a :class:`MulticastNode` whose
+
+* leaf row carries the scheme-encoded subscription state (Bloom bits
+  or category masks), refreshed whenever subscriptions change;
+* ``forward_filter`` tests an item's routing hints against the child
+  zone's aggregated subscription attribute before forwarding;
+* ``accept`` performs the leaf's authoritative final match (needed
+  because Bloom bits collide — §6's "a final test is needed at the
+  leaf node whether the data that arrives at the node truly matches a
+  subscription").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+from repro.core.config import NewsWireConfig
+from repro.core.identifiers import ItemId, NodeId, ZonePath
+from repro.sim.engine import Simulation
+from repro.sim.network import Network
+from repro.sim.trace import TraceLog
+from repro.astrolabe.certificates import KeyChain
+from repro.astrolabe.mib import Row
+from repro.multicast.messages import Envelope
+from repro.multicast.node import MulticastNode
+from repro.pubsub.schemes import BloomScheme, SubscriptionScheme
+from repro.pubsub.subscription import Subscription
+
+
+def item_metadata(envelope: Envelope) -> Mapping[str, object]:
+    """Metadata mapping a subscription predicate is evaluated against.
+
+    News payloads expose a full metadata mapping; other payloads fall
+    back to the envelope's own fields.
+    """
+    payload = envelope.payload
+    as_metadata = getattr(payload, "as_metadata", None)
+    if callable(as_metadata):
+        return as_metadata()
+    return {
+        "subject": envelope.subject,
+        "publisher": envelope.publisher,
+        "urgency": envelope.urgency,
+    }
+
+
+class PubSubNode(MulticastNode):
+    """A subscriber/forwarder participant of the pub/sub system."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        sim: Simulation,
+        network: Network,
+        config: NewsWireConfig,
+        keychain: KeyChain,
+        trace: Optional[TraceLog] = None,
+        scheme: Optional[SubscriptionScheme] = None,
+    ):
+        super().__init__(node_id, sim, network, config, keychain, trace)
+        self.scheme = scheme if scheme is not None else BloomScheme(config.bloom)
+        self._subscriptions: list[Subscription] = []
+        self._publish_serial = 0
+        self.set_attributes(
+            {"publishers": (), **self.scheme.leaf_attributes(())}
+        )
+
+    # ------------------------------------------------------------------
+    # Subscription management
+    # ------------------------------------------------------------------
+
+    @property
+    def subscriptions(self) -> tuple[Subscription, ...]:
+        return tuple(self._subscriptions)
+
+    def subscribe(self, subscription: Subscription) -> None:
+        """Add a subscription; its subject bits reach the root within
+        tens of seconds (E6 measures exactly this)."""
+        if subscription in self._subscriptions:
+            return
+        self._subscriptions.append(subscription)
+        self._export_subscriptions()
+        self.trace.record(
+            "subscribe", node=str(self.node_id), subject=subscription.subject
+        )
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        try:
+            self._subscriptions.remove(subscription)
+        except ValueError:
+            return
+        self._export_subscriptions()
+
+    def _export_subscriptions(self) -> None:
+        self.set_attributes(self.scheme.leaf_attributes(self._subscriptions))
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+
+    def publish(
+        self,
+        subject: str,
+        payload: Any,
+        publisher: Optional[str] = None,
+        zone: Optional[ZonePath] = None,
+        urgency: int = 5,
+        wire_size: int = 1024,
+        item_key: Optional[object] = None,
+        zone_predicate: Optional[str] = None,
+    ) -> Envelope:
+        """Inject an item; returns the envelope (its key identifies it).
+
+        ``zone`` restricts dissemination scope (§8); default is the
+        root (everyone).  ``zone_predicate`` is an optional AQL
+        expression each forwarding component evaluates against a child
+        zone's aggregated row before forwarding into it (§8 future
+        work).  The publisher name defaults to this node's id.
+        """
+        name = publisher if publisher is not None else str(self.node_id)
+        target = zone if zone is not None else ZonePath()
+        if item_key is None:
+            self._publish_serial += 1
+            item_key = ItemId(name, self._publish_serial)
+        envelope = Envelope(
+            item_key=item_key,
+            payload=payload,
+            publisher=name,
+            subject=subject,
+            hints=self.scheme.hints_for(subject, name),
+            urgency=urgency,
+            created_at=self.sim.now,
+            wire_size=wire_size,
+            scope=target,
+            zone_predicate=zone_predicate,
+        )
+        self.trace.record(
+            "publish", node=str(self.node_id), subject=subject, item=str(item_key)
+        )
+        self.send_to_zone(target, envelope)
+        return envelope
+
+    def announce_publisher(self, name: str) -> None:
+        """Export this node as a publisher (aggregated via UNION so any
+        subscriber can discover available publishers at the root)."""
+        current = self.get_attribute("publishers") or ()
+        if name not in current:
+            self.set_attribute("publishers", tuple(sorted((*current, name))))
+
+    # ------------------------------------------------------------------
+    # Selective forwarding hooks
+    # ------------------------------------------------------------------
+
+    def forward_filter(self, child: ZonePath, row: Row, envelope: Envelope) -> bool:
+        return self.scheme.zone_may_match(row.mapping, envelope.hints)
+
+    def accept(self, envelope: Envelope) -> bool:
+        if not self._subscriptions:
+            return False
+        metadata = item_metadata(envelope)
+        return any(
+            subscription.matches(envelope.subject, metadata)
+            for subscription in self._subscriptions
+        )
+
+    def wants_repair(self, subject: str, hints: tuple) -> bool:
+        return any(s.matches_subject(subject) for s in self._subscriptions)

@@ -1,0 +1,250 @@
+"""Subscription-aggregation schemes: Bloom filters and category masks.
+
+The paper describes two generations of in-network subscription state:
+
+* the early prototype (§7): one attribute *per publisher*, holding a
+  small bitmask of the news categories subscribed to — exact but
+  "poorly scalable in the selection of publishers"
+  (:class:`PublisherMaskScheme`);
+* the production design (§6): a single Bloom filter over all
+  subscription subjects, OR-aggregated up the tree — scalable but with
+  false positives (:class:`BloomScheme`).
+
+A scheme answers four questions:
+
+1. what attributes does a leaf export for its subscriptions?
+2. what AQL aggregates those attributes up the zone tree?
+3. what routing hints does a publisher stamp on an item?
+4. given a child zone's aggregated row and an item's hints, *may* the
+   zone contain a matching subscriber?
+
+Experiment E5 sweeps both schemes' accuracy/state trade-off.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Iterable, Mapping, Sequence
+
+from repro.core.bitmask import CategoryMask, CategoryRegistry
+from repro.core.bloom import BloomFilter, bit_positions
+from repro.core.config import BloomConfig
+from repro.core.errors import SubscriptionError
+from repro.core.identifiers import ZonePath
+from repro.astrolabe.certificates import AggregationCertificate, KeyChain
+from repro.astrolabe.mib import AttributeValue
+from repro.multicast.messages import RoutingHints
+from repro.pubsub.subscription import Subscription
+
+
+class SubscriptionScheme(ABC):
+    """Strategy object shared by all nodes of one deployment."""
+
+    #: Name for the aggregation certificate this scheme installs.
+    aggregation_name = "pubsub"
+
+    @abstractmethod
+    def leaf_attributes(
+        self, subscriptions: Sequence[Subscription]
+    ) -> Dict[str, AttributeValue]:
+        """Attributes a leaf exports to represent ``subscriptions``."""
+
+    @abstractmethod
+    def aggregation_source(self) -> str:
+        """AQL aggregating those attributes into parent rows."""
+
+    @abstractmethod
+    def hints_for(self, subject: str, publisher: str) -> RoutingHints:
+        """Routing hints a publisher attaches to an item (§6: "an
+        attribute is added to the data representing the bit position in
+        the subscription array this publication corresponds to")."""
+
+    @abstractmethod
+    def zone_may_match(self, row: Mapping[str, object], hints: RoutingHints) -> bool:
+        """The forwarding-node test against a child zone's row."""
+
+    def certificate(
+        self,
+        keychain: KeyChain,
+        issuer: str = "admin",
+        issued_at: float = 0.0,
+        scope: ZonePath = ZonePath(),
+    ) -> AggregationCertificate:
+        return AggregationCertificate.issue(
+            self.aggregation_name,
+            self.aggregation_source(),
+            issuer,
+            keychain,
+            scope=scope,
+            issued_at=issued_at,
+        )
+
+
+class BloomScheme(SubscriptionScheme):
+    """§6: one Bloom filter over all subscription subjects.
+
+    Leaf rows export the filter as an integer attribute ``subs``;
+    parents aggregate with ``BOR`` (binary OR); items carry their
+    subject's bit positions; forwarders test those positions.
+    """
+
+    def __init__(self, bloom: BloomConfig = BloomConfig()):
+        bloom.validate()
+        self.config = bloom
+
+    def leaf_attributes(
+        self, subscriptions: Sequence[Subscription]
+    ) -> Dict[str, AttributeValue]:
+        bloom = BloomFilter(self.config.num_bits, self.config.num_hashes)
+        for subscription in subscriptions:
+            bloom.add(subscription.subject)
+        return {"subs": bloom.to_int()}
+
+    def aggregation_source(self) -> str:
+        return "SELECT BOR(subs) AS subs, UNION(publishers) AS publishers"
+
+    def hints_for(self, subject: str, publisher: str) -> RoutingHints:
+        return bit_positions(subject, self.config.num_bits, self.config.num_hashes)
+
+    def zone_may_match(self, row: Mapping[str, object], hints: RoutingHints) -> bool:
+        bits = row.get("subs")
+        if not isinstance(bits, int):
+            return True  # no subscription info: fail open, filter at leaf
+        for position in hints:
+            if not (bits >> position) & 1:
+                return False
+        return True
+
+
+class PublisherMaskScheme(SubscriptionScheme):
+    """§7: per-publisher category bitmask attributes (the prototype).
+
+    Subjects are ``"publisher/category"`` strings; each known publisher
+    contributes one leaf attribute ``pub_<publisher>`` whose bits are
+    the subscribed categories from that publisher's registry.  Exact
+    (no false positives) but per-publisher state everywhere — "limited
+    scalability in the selection of publishers".
+    """
+
+    def __init__(self, registries: Mapping[str, CategoryRegistry]):
+        if not registries:
+            raise SubscriptionError("at least one publisher registry is required")
+        self.registries = dict(registries)
+
+    @staticmethod
+    def split_subject(subject: str) -> tuple[str, str]:
+        publisher, _, category = subject.partition("/")
+        if not publisher or not category:
+            raise SubscriptionError(
+                f"mask-scheme subjects are 'publisher/category', got {subject!r}"
+            )
+        return publisher, category
+
+    def _attr(self, publisher: str) -> str:
+        return f"pub_{publisher}"
+
+    def leaf_attributes(
+        self, subscriptions: Sequence[Subscription]
+    ) -> Dict[str, AttributeValue]:
+        masks: Dict[str, CategoryMask] = {
+            publisher: CategoryMask(registry)
+            for publisher, registry in self.registries.items()
+        }
+        for subscription in subscriptions:
+            publisher, category = self.split_subject(subscription.subject)
+            registry = self.registries.get(publisher)
+            if registry is None:
+                raise SubscriptionError(f"unknown publisher {publisher!r}")
+            masks[publisher].add(category)
+        return {
+            self._attr(publisher): mask.to_int() for publisher, mask in masks.items()
+        }
+
+    def aggregation_source(self) -> str:
+        items = ", ".join(
+            f"BOR({self._attr(p)}) AS {self._attr(p)}"
+            for p in sorted(self.registries)
+        )
+        return f"SELECT {items}, UNION(publishers) AS publishers"
+
+    def hints_for(self, subject: str, publisher: str) -> RoutingHints:
+        subject_publisher, category = self.split_subject(subject)
+        registry = self.registries.get(subject_publisher)
+        if registry is None:
+            raise SubscriptionError(f"unknown publisher {subject_publisher!r}")
+        return (subject_publisher, 1 << registry.bit_for(category))
+
+    def zone_may_match(self, row: Mapping[str, object], hints: RoutingHints) -> bool:
+        publisher, mask = hints
+        bits = row.get(self._attr(publisher))
+        if not isinstance(bits, int):
+            return True  # no info for this publisher: fail open
+        return bool(bits & mask)
+
+
+class PrefixBloomScheme(BloomScheme):
+    """Hierarchical subjects with wildcard subscriptions.
+
+    The paper plans to "enrich the subscription space within which our
+    Bloom filters operate" as it moves to NewsML (§7).  This scheme
+    implements one such enrichment: subjects are slash-paths
+    (``reuters/sports/football``) and a subscription may name a whole
+    subtree (``reuters/sports/*``).
+
+    Encoding: a wildcard subscription sets the filter bit of its
+    *prefix key* (``reuters/sports/*``); an exact subscription sets the
+    bit of the subject itself.  A published item carries one hint
+    *group* per way it could be matched — its exact subject plus every
+    ancestor's prefix key — and a zone may match if **any** group's
+    bits are all present.  Filtering stays sound (no false negatives):
+    whatever a leaf below could match, one of the groups tests for.
+    """
+
+    @staticmethod
+    def prefix_keys(subject: str) -> tuple[str, ...]:
+        """All filter keys an item with ``subject`` can be matched by.
+
+        Includes the subject's *own* wildcard key: ``a/b/*`` matches
+        ``a/b`` itself, so an item on ``a/b`` must test that group too.
+        """
+        parts = subject.split("/")
+        keys = [subject]
+        for depth in range(1, len(parts) + 1):
+            keys.append("/".join(parts[:depth]) + "/*")
+        return tuple(keys)
+
+    def leaf_attributes(
+        self, subscriptions: Sequence[Subscription]
+    ) -> Dict[str, AttributeValue]:
+        bloom = BloomFilter(self.config.num_bits, self.config.num_hashes)
+        for subscription in subscriptions:
+            bloom.add(subscription.subject)  # exact or ``.../*`` key
+        return {"subs": bloom.to_int()}
+
+    def hints_for(self, subject: str, publisher: str) -> RoutingHints:
+        """One position-group per matchable key (tuple of tuples)."""
+        return tuple(
+            bit_positions(key, self.config.num_bits, self.config.num_hashes)
+            for key in self.prefix_keys(subject)
+        )
+
+    def zone_may_match(self, row: Mapping[str, object], hints: RoutingHints) -> bool:
+        bits = row.get("subs")
+        if not isinstance(bits, int):
+            return True  # no subscription info: fail open, filter at leaf
+        for group in hints:
+            if all((bits >> position) & 1 for position in group):
+                return True
+        return False
+
+
+def categories_registry(publisher_categories: Mapping[str, Iterable[str]]) -> Dict[str, CategoryRegistry]:
+    """Build registries from ``{publisher: [categories...]}`` (test helper)."""
+    registries: Dict[str, CategoryRegistry] = {}
+    for publisher, categories in publisher_categories.items():
+        category_list = list(categories)
+        registry = CategoryRegistry(capacity=max(32, len(category_list)))
+        for category in category_list:
+            registry.register(category)
+        registries[publisher] = registry
+    return registries

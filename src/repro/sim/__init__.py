@@ -1,0 +1,47 @@
+"""Deterministic discrete-event simulation substrate.
+
+This package replaces the paper's Internet deployment: it provides the
+virtual clock (:class:`Simulation`), message transport with latency /
+loss / partitions (:class:`Network`), the :class:`Process` base class
+protocol nodes extend, failure injection, and event tracing.
+"""
+
+from repro.sim.engine import EventHandle, PeriodicEvent, Simulation
+from repro.sim.failures import FailureInjector, FailureStats, FloodMessage
+from repro.sim.network import (
+    DEFAULT_MESSAGE_SIZE,
+    FixedLatency,
+    HierarchicalLatency,
+    Network,
+    NetworkStats,
+    NodeStats,
+    UniformLatency,
+    estimate_size,
+    zone_distance,
+)
+from repro.sim.node import Process
+from repro.sim.rng import RngRegistry, derive_seed
+from repro.sim.trace import TraceEvent, TraceLog
+
+__all__ = [
+    "DEFAULT_MESSAGE_SIZE",
+    "EventHandle",
+    "FailureInjector",
+    "FailureStats",
+    "FixedLatency",
+    "FloodMessage",
+    "HierarchicalLatency",
+    "Network",
+    "NetworkStats",
+    "NodeStats",
+    "PeriodicEvent",
+    "Process",
+    "RngRegistry",
+    "Simulation",
+    "TraceEvent",
+    "TraceLog",
+    "UniformLatency",
+    "derive_seed",
+    "estimate_size",
+    "zone_distance",
+]

@@ -1,0 +1,213 @@
+"""Discrete-event simulation kernel.
+
+A :class:`Simulation` owns a virtual clock and a priority queue of
+events.  Protocol code schedules callbacks with :meth:`Simulation.call_at`
+/ :meth:`call_after` and reads time from :attr:`Simulation.now`; the
+driver advances time with :meth:`run` / :meth:`run_until`.
+
+Determinism guarantees:
+
+* events at equal times fire in scheduling order (a monotone sequence
+  number breaks ties), and
+* all randomness flows through the named streams of
+  :class:`repro.sim.rng.RngRegistry` owned by the simulation.
+
+Together these make every experiment a pure function of its seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import random
+from typing import Any, Callable, Iterable, Optional
+
+from repro.core.errors import SimulationError
+from repro.sim.rng import RngRegistry
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled event."""
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[..., None], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (idempotent)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        return f"EventHandle(t={self.time:.3f}, {name}, {state})"
+
+
+class Simulation:
+    """The event loop: virtual clock + event heap + named RNG streams."""
+
+    def __init__(self, seed: int = 0):
+        self._now = 0.0
+        self._seq = 0
+        self._heap: list[EventHandle] = []
+        self._events_processed = 0
+        self.rngs = RngRegistry(seed)
+        self.seed = seed
+
+    # -- clock ---------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def rng(self, name: str) -> random.Random:
+        """The named deterministic random stream."""
+        return self.rngs.stream(name)
+
+    # -- scheduling ------------------------------------------------------
+
+    def call_at(self, time: float, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute virtual ``time``."""
+        if math.isnan(time) or time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={time} (now={self._now})"
+            )
+        handle = EventHandle(time, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def call_after(self, delay: float, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` after ``delay`` seconds."""
+        if math.isnan(delay) or delay < 0:
+            raise SimulationError(f"delay must be >= 0, got {delay}")
+        return self.call_at(self._now + delay, callback, *args)
+
+    def call_every(
+        self,
+        interval: float,
+        callback: Callable[..., None],
+        *args: Any,
+        first_delay: Optional[float] = None,
+        until: Optional[float] = None,
+    ) -> "PeriodicEvent":
+        """Run ``callback(*args)`` every ``interval`` seconds.
+
+        ``first_delay`` staggers the first firing (defaults to one full
+        interval); ``until`` stops the series at that time.  Returns a
+        handle whose :meth:`PeriodicEvent.cancel` stops future firings.
+        """
+        if interval <= 0:
+            raise SimulationError("interval must be positive")
+        return PeriodicEvent(self, interval, callback, args, first_delay, until)
+
+    # -- running ---------------------------------------------------------
+
+    def step(self) -> bool:
+        """Process the single next event.  Returns False when idle."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_processed += 1
+            # Mark consumed so holders (e.g. Process timer lists) can
+            # prune fired handles the same way as cancelled ones.
+            event.cancelled = True
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, max_events: Optional[int] = None) -> None:
+        """Run until the event queue drains (or ``max_events`` fire)."""
+        remaining = math.inf if max_events is None else max_events
+        while remaining > 0 and self.step():
+            remaining -= 1
+
+    def run_until(self, time: float) -> None:
+        """Run all events with timestamps <= ``time``; clock ends at ``time``."""
+        if time < self._now:
+            raise SimulationError(f"cannot run backwards to t={time}")
+        while self._heap:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if head.time > time:
+                break
+            self.step()
+        self._now = max(self._now, time)
+
+    def run_for(self, duration: float) -> None:
+        """Advance the clock by ``duration`` seconds of virtual time."""
+        self.run_until(self._now + duration)
+
+    def drain(self, events: Iterable[EventHandle]) -> None:
+        """Cancel a batch of handles (convenience for process teardown)."""
+        for event in events:
+            event.cancel()
+
+    def __repr__(self) -> str:
+        return (
+            f"Simulation(now={self._now:.3f}, pending={self.pending_events}, "
+            f"processed={self._events_processed})"
+        )
+
+
+class PeriodicEvent:
+    """A self-rescheduling event series created by ``call_every``."""
+
+    __slots__ = ("_sim", "interval", "callback", "args", "until", "_handle", "_stopped")
+
+    def __init__(
+        self,
+        sim: Simulation,
+        interval: float,
+        callback: Callable[..., None],
+        args: tuple,
+        first_delay: Optional[float],
+        until: Optional[float],
+    ):
+        self._sim = sim
+        self.interval = interval
+        self.callback = callback
+        self.args = args
+        self.until = until
+        self._stopped = False
+        delay = interval if first_delay is None else first_delay
+        self._handle = sim.call_after(delay, self._fire)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        if self.until is not None and self._sim.now > self.until:
+            self._stopped = True
+            return
+        self.callback(*self.args)
+        if not self._stopped:  # callback may have cancelled us
+            self._handle = self._sim.call_after(self.interval, self._fire)
+
+    def cancel(self) -> None:
+        self._stopped = True
+        self._handle.cancel()
+
+    @property
+    def active(self) -> bool:
+        return not self._stopped

@@ -1,0 +1,178 @@
+"""Failure injection: crashes, churn, partitions, overload floods.
+
+The paper's robustness claims (abstract, §1, §10: "node failure &
+automatic zone reconfiguration ... publisher overload or denial of
+service attacks") are exercised by scheduling failures against a
+running simulation.  The injector works on any :class:`Process`-like
+object exposing ``crash``/``recover``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.errors import ConfigurationError
+from repro.core.identifiers import NodeId
+from repro.sim.engine import Simulation
+from repro.sim.network import Network
+from repro.sim.node import Process
+
+
+@dataclass
+class FloodMessage:
+    """Junk traffic a DoS attacker aims at a victim node."""
+
+    payload: bytes = b""
+    wire_size: int = 1024
+
+    kind: str = "dos-flood"
+
+
+@dataclass
+class FailureStats:
+    """What the injector has done so far (for experiment reports)."""
+
+    crashes: int = 0
+    recoveries: int = 0
+    partitions: int = 0
+    flood_messages: int = 0
+
+
+class FailureInjector:
+    """Schedules failure events against simulation processes."""
+
+    def __init__(self, sim: Simulation, network: Network):
+        self.sim = sim
+        self.network = network
+        self.stats = FailureStats()
+        self._rng = sim.rng("failures")
+
+    # -- crashes ---------------------------------------------------------
+
+    def crash_at(self, time: float, process: Process) -> None:
+        self.sim.call_at(time, self._crash, process)
+
+    def recover_at(self, time: float, process: Process) -> None:
+        self.sim.call_at(time, self._recover, process)
+
+    def crash_for(self, time: float, process: Process, downtime: float) -> None:
+        """Crash at ``time`` and recover ``downtime`` seconds later."""
+        self.crash_at(time, process)
+        self.recover_at(time + downtime, process)
+
+    def crash_fraction(
+        self,
+        time: float,
+        processes: Sequence[Process],
+        fraction: float,
+        downtime: Optional[float] = None,
+    ) -> list[Process]:
+        """Crash a random ``fraction`` of ``processes`` at ``time``.
+
+        Returns the victims (chosen deterministically from the
+        simulation's "failures" RNG stream).  With ``downtime`` they
+        recover after that many seconds; otherwise they stay down.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigurationError(f"fraction must be in [0, 1], got {fraction}")
+        count = round(len(processes) * fraction)
+        victims = self._rng.sample(list(processes), count)
+        for victim in victims:
+            if downtime is None:
+                self.crash_at(time, victim)
+            else:
+                self.crash_for(time, victim, downtime)
+        return victims
+
+    def churn(
+        self,
+        processes: Sequence[Process],
+        rate: float,
+        downtime: float,
+        start: float = 0.0,
+        duration: float = float("inf"),
+    ) -> None:
+        """Continuous churn: ``rate`` crash events per second overall.
+
+        Each event picks a random up-node, crashes it, and recovers it
+        after ``downtime`` seconds — the "node failure & automatic zone
+        reconfiguration" regime of §10.
+        """
+        if rate <= 0:
+            raise ConfigurationError("churn rate must be positive")
+        begin = max(start, self.sim.now)
+
+        def crash_one() -> None:
+            if self.sim.now > begin + duration:
+                return
+            alive = [p for p in processes if not p.crashed]
+            if alive:
+                victim = self._rng.choice(alive)
+                self._crash(victim)
+                self.sim.call_after(downtime, self._recover, victim)
+            self.sim.call_after(self._rng.expovariate(rate), crash_one)
+
+        self.sim.call_at(begin + self._rng.expovariate(rate), crash_one)
+
+    def _crash(self, process: Process) -> None:
+        if not process.crashed:
+            process.crash()
+            self.stats.crashes += 1
+
+    def _recover(self, process: Process) -> None:
+        if process.crashed:
+            process.recover()
+            self.stats.recoveries += 1
+
+    # -- partitions --------------------------------------------------------
+
+    def partition_for(
+        self,
+        time: float,
+        groups: Sequence[Sequence[NodeId]],
+        duration: float,
+    ) -> None:
+        """Split the network at ``time``; heal after ``duration``."""
+
+        def split() -> None:
+            self.network.partition(groups)
+            self.stats.partitions += 1
+
+        self.sim.call_at(time, split)
+        self.sim.call_at(time + duration, self.network.heal)
+
+    # -- overload / DoS -----------------------------------------------------
+
+    def flood(
+        self,
+        target: NodeId,
+        rate: float,
+        start: float,
+        duration: float,
+        message_size: int = 1024,
+        source: Optional[NodeId] = None,
+    ) -> None:
+        """Aim ``rate`` junk requests/second at ``target``.
+
+        Used to reproduce the September-2001-style overload of §1: a
+        centralized origin server saturates, while NewsWire's publisher
+        only ever talks to a handful of zone representatives (E4).
+        Flood messages are injected directly at the network layer so
+        the attacker does not need to be a simulated process.
+        """
+        if rate <= 0:
+            raise ConfigurationError("flood rate must be positive")
+        attacker = source if source is not None else NodeId.parse("/attacker")
+        end = start + duration
+
+        def send_one() -> None:
+            if self.sim.now > end:
+                return
+            self.network.send(
+                attacker, target, FloodMessage(wire_size=message_size)
+            )
+            self.stats.flood_messages += 1
+            self.sim.call_after(self._rng.expovariate(rate), send_one)
+
+        self.sim.call_at(start + self._rng.expovariate(rate), send_one)

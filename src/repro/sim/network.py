@@ -1,0 +1,312 @@
+"""Simulated network: latency models, loss, partitions, load accounting.
+
+The network transports opaque message objects between registered
+handlers.  It charges latency sampled from a pluggable
+:class:`LatencyModel`, drops messages according to a loss rate or an
+active partition, refuses delivery to crashed nodes, and keeps
+per-node and global counters that the metrics layer reads (publisher
+load, bandwidth — experiments E3/E8).
+
+Latency defaults to :class:`HierarchicalLatency`, which derives
+distance from the Astrolabe zone tree itself: two leaves under the same
+parent zone are "in the same building", leaves that only share the root
+are "across the Internet".  This mirrors the paper's assumption that
+the zone hierarchy tracks network locality.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Protocol, Sequence
+
+from repro.core.errors import NetworkError
+from repro.core.identifiers import NodeId, ZonePath
+from repro.sim.engine import Simulation
+
+#: Fallback wire size (bytes) for messages that do not declare one.
+DEFAULT_MESSAGE_SIZE = 256
+
+
+def estimate_size(message: Any) -> int:
+    """Bytes a message occupies on the wire.
+
+    Messages may declare an exact ``wire_size`` attribute (the protocol
+    layers do); anything else is charged a flat default.
+    """
+    size = getattr(message, "wire_size", None)
+    return size if isinstance(size, int) and size > 0 else DEFAULT_MESSAGE_SIZE
+
+
+class LatencyModel(Protocol):
+    """Samples one-way delay between two nodes."""
+
+    def sample(self, src: NodeId, dst: NodeId, rng: random.Random) -> float:
+        """One-way latency in seconds for a ``src`` → ``dst`` message."""
+        ...
+
+
+@dataclass(frozen=True)
+class FixedLatency:
+    """Constant one-way delay; useful in unit tests."""
+
+    delay: float = 0.01
+
+    def sample(self, src: NodeId, dst: NodeId, rng: random.Random) -> float:
+        return self.delay
+
+
+@dataclass(frozen=True)
+class UniformLatency:
+    """Delay drawn uniformly from ``[low, high]``, topology-blind."""
+
+    low: float = 0.01
+    high: float = 0.1
+
+    def sample(self, src: NodeId, dst: NodeId, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+@dataclass(frozen=True)
+class HierarchicalLatency:
+    """Delay determined by zone-tree distance between the endpoints.
+
+    The *distance* is how many levels above the deeper endpoint the
+    least common ancestor sits: siblings in one leaf zone have distance
+    1, leaves sharing only the root have distance equal to their depth.
+    ``bands[d-1]`` gives the (low, high) uniform range for distance
+    ``d``; distances beyond the table reuse the last band.
+    """
+
+    bands: tuple[tuple[float, float], ...] = (
+        (0.002, 0.010),   # same leaf zone (LAN)
+        (0.010, 0.040),   # same metro zone
+        (0.030, 0.100),   # same region
+        (0.060, 0.250),   # intercontinental
+    )
+
+    def sample(self, src: NodeId, dst: NodeId, rng: random.Random) -> float:
+        low, high = self.bands[min(zone_distance(src, dst), len(self.bands)) - 1]
+        return rng.uniform(low, high)
+
+
+def zone_distance(a: ZonePath, b: ZonePath) -> int:
+    """Levels between the deeper endpoint and the least common ancestor.
+
+    Zero only when ``a == b``; loopback messages are charged band 1
+    latency by :class:`HierarchicalLatency` (``min`` clamps at 1... the
+    caller treats self-send as local anyway).
+    """
+    common = 0
+    for label_a, label_b in zip(a.labels, b.labels):
+        if label_a != label_b:
+            break
+        common += 1
+    return max(len(a.labels), len(b.labels)) - common
+
+
+class MessageHandler(Protocol):
+    """What the network delivers to: any object with ``receive``."""
+
+    node_id: NodeId
+
+    def receive(self, sender: NodeId, message: Any) -> None: ...
+
+
+@dataclass
+class NodeStats:
+    """Per-node traffic counters (read by the metrics layer)."""
+
+    sent_messages: int = 0
+    sent_bytes: int = 0
+    received_messages: int = 0
+    received_bytes: int = 0
+
+    def snapshot(self) -> "NodeStats":
+        return NodeStats(
+            self.sent_messages,
+            self.sent_bytes,
+            self.received_messages,
+            self.received_bytes,
+        )
+
+
+@dataclass
+class NetworkStats:
+    """Global traffic and drop counters."""
+
+    delivered: int = 0
+    dropped_loss: int = 0
+    dropped_partition: int = 0
+    dropped_crashed: int = 0
+    dropped_unknown: int = 0
+    total_bytes: int = 0
+
+    @property
+    def dropped(self) -> int:
+        return (
+            self.dropped_loss
+            + self.dropped_partition
+            + self.dropped_crashed
+            + self.dropped_unknown
+        )
+
+
+class Network:
+    """Message transport over a :class:`Simulation`.
+
+    ``bandwidth`` (bytes/second, per-node egress) is optional: when
+    set, each message occupies the sender's uplink for
+    ``size / bandwidth`` seconds and messages serialize FIFO behind it,
+    so large items and fan-out bursts pay realistic transmission and
+    queueing delay on top of propagation latency.  ``ingress_bandwidth``
+    models the receiver's downlink the same way — the resource a
+    request flood actually saturates.  Both default to None
+    (unlimited), which is what the protocol-level experiments use
+    (their pacing lives in the forwarding queues).
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        latency: Optional[LatencyModel] = None,
+        loss_rate: float = 0.0,
+        bandwidth: Optional[float] = None,
+        ingress_bandwidth: Optional[float] = None,
+    ):
+        if not 0.0 <= loss_rate < 1.0:
+            raise NetworkError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        if bandwidth is not None and bandwidth <= 0:
+            raise NetworkError(f"bandwidth must be positive, got {bandwidth}")
+        if ingress_bandwidth is not None and ingress_bandwidth <= 0:
+            raise NetworkError(
+                f"ingress_bandwidth must be positive, got {ingress_bandwidth}"
+            )
+        self.sim = sim
+        self.latency = latency if latency is not None else HierarchicalLatency()
+        self.loss_rate = loss_rate
+        self.bandwidth = bandwidth
+        self.ingress_bandwidth = ingress_bandwidth
+        self.stats = NetworkStats()
+        self._handlers: Dict[NodeId, MessageHandler] = {}
+        self._node_stats: Dict[NodeId, NodeStats] = {}
+        self._partition_group: Dict[NodeId, int] = {}
+        self._link_free_at: Dict[NodeId, float] = {}
+        self._ingress_free_at: Dict[NodeId, float] = {}
+        self._rng = sim.rng("network")
+
+    # -- membership -----------------------------------------------------
+
+    def register(self, handler: MessageHandler) -> None:
+        self._handlers[handler.node_id] = handler
+        self._node_stats.setdefault(handler.node_id, NodeStats())
+
+    def unregister(self, node_id: NodeId) -> None:
+        self._handlers.pop(node_id, None)
+
+    def is_registered(self, node_id: NodeId) -> bool:
+        return node_id in self._handlers
+
+    @property
+    def node_ids(self) -> tuple[NodeId, ...]:
+        return tuple(self._handlers)
+
+    def node_stats(self, node_id: NodeId) -> NodeStats:
+        stats = self._node_stats.get(node_id)
+        if stats is None:
+            stats = NodeStats()
+            self._node_stats[node_id] = stats
+        return stats
+
+    def reset_node_stats(self) -> None:
+        """Zero all per-node counters (used between experiment phases)."""
+        for stats in self._node_stats.values():
+            stats.sent_messages = stats.sent_bytes = 0
+            stats.received_messages = stats.received_bytes = 0
+
+    # -- partitions -------------------------------------------------------
+
+    def partition(self, groups: Sequence[Sequence[NodeId]]) -> None:
+        """Split listed nodes into isolated groups.
+
+        Nodes not listed stay in an implicit group 0 reachable from
+        group 0 members only.
+        """
+        self._partition_group = {}
+        for index, group in enumerate(groups):
+            for node_id in group:
+                self._partition_group[node_id] = index
+
+    def heal(self) -> None:
+        """Remove any active partition."""
+        self._partition_group = {}
+
+    def _partitioned(self, src: NodeId, dst: NodeId) -> bool:
+        if not self._partition_group:
+            return False
+        return self._partition_group.get(src, 0) != self._partition_group.get(dst, 0)
+
+    # -- transport --------------------------------------------------------
+
+    def send(
+        self,
+        src: NodeId,
+        dst: NodeId,
+        message: Any,
+        size: Optional[int] = None,
+    ) -> bool:
+        """Queue ``message`` for delivery to ``dst``.
+
+        Returns True when the message was accepted for delivery (it may
+        still find the destination crashed on arrival).  Lost, blocked
+        and misaddressed messages are counted, not raised — protocol
+        code must tolerate silence, exactly as over UDP.
+        """
+        nbytes = size if size is not None else estimate_size(message)
+        sender_stats = self.node_stats(src)
+        sender_stats.sent_messages += 1
+        sender_stats.sent_bytes += nbytes
+
+        if dst not in self._handlers:
+            self.stats.dropped_unknown += 1
+            return False
+        if self._partitioned(src, dst):
+            self.stats.dropped_partition += 1
+            return False
+        if self.loss_rate and self._rng.random() < self.loss_rate:
+            self.stats.dropped_loss += 1
+            return False
+
+        delay = self.latency.sample(src, dst, self._rng) if src != dst else 0.0
+        now = self.sim.now
+        if self.bandwidth is not None and src != dst:
+            # Serialize on the sender's uplink: this message starts
+            # transmitting when the link frees and occupies it for
+            # size/bandwidth seconds; propagation latency follows.
+            start = max(now, self._link_free_at.get(src, now))
+            done = start + nbytes / self.bandwidth
+            self._link_free_at[src] = done
+            delay += done - now
+        if self.ingress_bandwidth is not None and src != dst:
+            # And on the receiver's downlink: reception begins when the
+            # message arrives AND the downlink is free — the contention
+            # a flood creates for everyone sharing the victim's link.
+            arrival = now + delay
+            start = max(arrival, self._ingress_free_at.get(dst, arrival))
+            done = start + nbytes / self.ingress_bandwidth
+            self._ingress_free_at[dst] = done
+            delay = done - now
+        self.sim.call_after(delay, self._deliver, src, dst, message, nbytes)
+        return True
+
+    def _deliver(self, src: NodeId, dst: NodeId, message: Any, nbytes: int) -> None:
+        handler = self._handlers.get(dst)
+        if handler is None or getattr(handler, "crashed", False):
+            self.stats.dropped_crashed += 1
+            return
+        stats = self.node_stats(dst)
+        stats.received_messages += 1
+        stats.received_bytes += nbytes
+        self.stats.delivered += 1
+        self.stats.total_bytes += nbytes
+        handler.receive(src, message)

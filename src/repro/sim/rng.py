@@ -1,0 +1,43 @@
+"""Deterministic named random streams.
+
+Every source of randomness in a simulation draws from a stream derived
+from the master seed and a stable name ("gossip", "latency",
+"workload", ...).  Deriving streams by hashing the name keeps results
+reproducible even when subsystems are added or reordered: adding a new
+consumer of randomness never perturbs the draws seen by existing ones,
+which is essential when comparing protocol variants in ablations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+
+def derive_seed(master_seed: int, name: str) -> int:
+    """A 64-bit seed unique to ``(master_seed, name)``."""
+    digest = hashlib.blake2b(
+        f"{master_seed}:{name}".encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+class RngRegistry:
+    """Hands out one :class:`random.Random` per stream name."""
+
+    def __init__(self, master_seed: int = 0):
+        self.master_seed = master_seed
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """The stream for ``name``, created on first use."""
+        rng = self._streams.get(name)
+        if rng is None:
+            rng = random.Random(derive_seed(self.master_seed, name))
+            self._streams[name] = rng
+        return rng
+
+    def fork(self, name: str) -> "RngRegistry":
+        """A child registry whose streams are independent of this one."""
+        return RngRegistry(derive_seed(self.master_seed, f"fork:{name}"))

@@ -1,0 +1,83 @@
+"""Structured event tracing for experiments and debugging.
+
+Protocol layers record milestones ("published", "delivered",
+"forwarded", "filtered", ...) into a :class:`TraceLog`.  The metrics
+layer derives latency distributions, delivery ratios and redundancy
+from these records.  Recording is cheap (a tuple append) and can be
+restricted to the event kinds an experiment cares about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, Optional
+
+from repro.sim.engine import Simulation
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded milestone."""
+
+    time: float
+    kind: str
+    fields: tuple[tuple[str, Any], ...]
+
+    def __getitem__(self, key: str) -> Any:
+        for name, value in self.fields:
+            if name == key:
+                return value
+        raise KeyError(key)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        for name, value in self.fields:
+            if name == key:
+                return value
+        return default
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dict(self.fields)
+
+
+class TraceLog:
+    """Append-only log of :class:`TraceEvent` records."""
+
+    def __init__(self, sim: Simulation, kinds: Optional[set[str]] = None):
+        """``kinds`` restricts recording to the given event kinds;
+        ``None`` records everything."""
+        self.sim = sim
+        self.kinds = kinds
+        self._events: list[TraceEvent] = []
+        self._counts: Dict[str, int] = {}
+
+    def record(self, kind: str, **fields: Any) -> None:
+        """Record ``kind`` with arbitrary fields at the current time."""
+        self._counts[kind] = self._counts.get(kind, 0) + 1
+        if self.kinds is not None and kind not in self.kinds:
+            return
+        self._events.append(
+            TraceEvent(self.sim.now, kind, tuple(fields.items()))
+        )
+
+    def events(self, kind: Optional[str] = None) -> Iterator[TraceEvent]:
+        """Iterate recorded events, optionally filtered by kind."""
+        if kind is None:
+            return iter(self._events)
+        return (event for event in self._events if event.kind == kind)
+
+    def count(self, kind: str) -> int:
+        """How many times ``kind`` was recorded (even if not retained)."""
+        return self._counts.get(kind, 0)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self._counts.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __repr__(self) -> str:
+        summary = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(self._counts.items())
+        )
+        return f"TraceLog({summary})"

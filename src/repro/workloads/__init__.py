@@ -1,0 +1,40 @@
+"""Synthetic workloads: publication traces and subscriber populations."""
+
+from repro.workloads.populations import InterestModel, zipf_weights
+from repro.workloads.scenarios import (
+    Scenario,
+    TECH_CATEGORIES,
+    TECH_PUBLISHERS,
+    WIRE_CATEGORIES,
+    WIRE_PUBLISHERS,
+    breaking_news_scenario,
+    subjects_for,
+    tech_news_scenario,
+    wire_news_scenario,
+)
+from repro.workloads.traces import (
+    DAY,
+    Publication,
+    diurnal_trace,
+    flash_crowd_trace,
+    poisson_trace,
+)
+
+__all__ = [
+    "DAY",
+    "InterestModel",
+    "Publication",
+    "Scenario",
+    "TECH_CATEGORIES",
+    "TECH_PUBLISHERS",
+    "WIRE_CATEGORIES",
+    "WIRE_PUBLISHERS",
+    "breaking_news_scenario",
+    "diurnal_trace",
+    "flash_crowd_trace",
+    "poisson_trace",
+    "subjects_for",
+    "tech_news_scenario",
+    "wire_news_scenario",
+    "zipf_weights",
+]

@@ -1,0 +1,90 @@
+"""Subscriber populations: who is interested in what.
+
+Interest is Zipf-distributed over subjects — a handful of subjects
+(front-page tech news) attract most subscribers while the tail is
+sparse.  This is the regime in which Bloom-filter aggregation pays
+off: popular bits saturate high in the tree while rare subjects are
+pruned close to the root (E5).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.core.errors import ConfigurationError
+from repro.pubsub.subscription import Subscription
+
+
+def zipf_weights(count: int, exponent: float = 1.0) -> list[float]:
+    """Unnormalized Zipf popularity weights for ranks 1..count."""
+    if count <= 0:
+        raise ConfigurationError("count must be positive")
+    if exponent < 0:
+        raise ConfigurationError("exponent must be >= 0")
+    return [1.0 / (rank ** exponent) for rank in range(1, count + 1)]
+
+
+@dataclass
+class InterestModel:
+    """Assigns each subscriber a set of subject subscriptions."""
+
+    subjects: Sequence[str]
+    subscriptions_per_node: int = 3
+    zipf_exponent: float = 1.0
+    predicate_probability: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.subjects:
+            raise ConfigurationError("at least one subject is required")
+        if self.subscriptions_per_node < 1:
+            raise ConfigurationError("subscriptions_per_node must be >= 1")
+        if not 0.0 <= self.predicate_probability <= 1.0:
+            raise ConfigurationError("predicate_probability must be in [0, 1]")
+        self._weights = zipf_weights(len(self.subjects), self.zipf_exponent)
+        self._assignments: Dict[int, tuple[Subscription, ...]] = {}
+
+    def _rng_for(self, index: int) -> random.Random:
+        return random.Random((self.seed << 20) ^ index)
+
+    def subscriptions_for(self, index: int) -> tuple[Subscription, ...]:
+        """Deterministic per-subscriber interests (cached)."""
+        cached = self._assignments.get(index)
+        if cached is not None:
+            return cached
+        rng = self._rng_for(index)
+        count = min(self.subscriptions_per_node, len(self.subjects))
+        picked: list[str] = []
+        while len(picked) < count:
+            subject = rng.choices(list(self.subjects), weights=self._weights, k=1)[0]
+            if subject not in picked:
+                picked.append(subject)
+        subscriptions = []
+        for subject in picked:
+            predicate = None
+            if rng.random() < self.predicate_probability:
+                predicate = f"urgency <= {rng.randint(4, 7)}"
+            subscriptions.append(Subscription(subject, predicate))
+        result = tuple(subscriptions)
+        self._assignments[index] = result
+        return result
+
+    def subscriber_counts(self, num_nodes: int) -> Dict[str, int]:
+        """How many of ``num_nodes`` subscribe to each subject."""
+        counts: Dict[str, int] = {subject: 0 for subject in self.subjects}
+        for index in range(num_nodes):
+            for subscription in self.subscriptions_for(index):
+                counts[subscription.subject] += 1
+        return counts
+
+    def expected_receivers(self, num_nodes: int, subject: str) -> int:
+        """Subscribers whose *subject* matches (ignores predicates)."""
+        return sum(
+            1
+            for index in range(num_nodes)
+            if any(
+                s.subject == subject for s in self.subscriptions_for(index)
+            )
+        )

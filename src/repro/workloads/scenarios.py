@@ -1,0 +1,125 @@
+"""Canned workload scenarios matching the paper's motivating settings.
+
+Two deployment configurations are promised in §10: "the first will be
+targeted towards the publishing of technical news articles by sites
+such as Slashdot.org, Wired, The Register ...  The second ... general
+news distribution with publishing by Reuters, Associated Press, the
+New York Times."
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.workloads.populations import InterestModel
+from repro.workloads.traces import (
+    DAY,
+    Publication,
+    diurnal_trace,
+    flash_crowd_trace,
+    poisson_trace,
+)
+
+#: §10's first configuration: community tech-news sites.
+TECH_PUBLISHERS = ("slashdot", "wired", "theregister", "news.com")
+TECH_CATEGORIES = ("tech", "science", "linux", "hardware", "games", "security")
+
+#: §10's second configuration: general news wires.
+WIRE_PUBLISHERS = ("reuters", "ap", "nytimes")
+WIRE_CATEGORIES = ("world", "politics", "business", "sports", "weather", "local")
+
+
+def subjects_for(publishers: Sequence[str], categories: Sequence[str]) -> list[str]:
+    """Subjects are publisher/category pairs (the §7 prototype shape)."""
+    return [f"{p}/{c}" for p in publishers for c in categories]
+
+
+@dataclass
+class Scenario:
+    """A complete workload: who publishes what, who wants what."""
+
+    name: str
+    publishers: tuple[str, ...]
+    subjects: tuple[str, ...]
+    trace: list[Publication]
+    interests: InterestModel
+
+
+def tech_news_scenario(
+    duration: float = DAY,
+    items_per_day: float = 25.0,
+    subscriptions_per_node: int = 3,
+    seed: int = 0,
+) -> Scenario:
+    """Slashdot-style: diurnal posting, Zipf-popular tech subjects."""
+    rng = random.Random(seed)
+    subjects = subjects_for(TECH_PUBLISHERS[:1], TECH_CATEGORIES)
+    trace = diurnal_trace(
+        items_per_day=items_per_day,
+        days=duration / DAY,
+        subjects=subjects,
+        rng=rng,
+    )
+    interests = InterestModel(
+        subjects=subjects,
+        subscriptions_per_node=subscriptions_per_node,
+        zipf_exponent=1.0,
+        seed=seed,
+    )
+    return Scenario("tech-news", TECH_PUBLISHERS[:1], tuple(subjects), trace, interests)
+
+
+def wire_news_scenario(
+    duration: float = DAY / 24,
+    rate_per_hour: float = 60.0,
+    subscriptions_per_node: int = 4,
+    seed: int = 0,
+) -> Scenario:
+    """Reuters/AP-style: steady high-rate wire across many desks."""
+    rng = random.Random(seed)
+    subjects = subjects_for(WIRE_PUBLISHERS, WIRE_CATEGORIES)
+    trace = poisson_trace(
+        rate_per_hour=rate_per_hour,
+        duration=duration,
+        subjects=subjects,
+        rng=rng,
+    )
+    interests = InterestModel(
+        subjects=subjects,
+        subscriptions_per_node=subscriptions_per_node,
+        zipf_exponent=0.8,
+        seed=seed,
+    )
+    return Scenario("wire-news", WIRE_PUBLISHERS, tuple(subjects), trace, interests)
+
+
+def breaking_news_scenario(
+    duration: float = 3600.0,
+    base_rate_per_hour: float = 10.0,
+    spike_factor: float = 20.0,
+    seed: int = 0,
+) -> Scenario:
+    """September-2001-style: a massive burst on one subject (§1)."""
+    rng = random.Random(seed)
+    subjects = subjects_for(WIRE_PUBLISHERS[:1], WIRE_CATEGORIES)
+    trace = flash_crowd_trace(
+        base_rate_per_hour=base_rate_per_hour,
+        duration=duration,
+        subjects=subjects,
+        rng=rng,
+        spike_at=duration / 3,
+        spike_duration=duration / 6,
+        spike_factor=spike_factor,
+        breaking_subject=subjects[0],
+    )
+    interests = InterestModel(
+        subjects=subjects,
+        subscriptions_per_node=2,
+        zipf_exponent=1.2,
+        seed=seed,
+    )
+    return Scenario(
+        "breaking-news", WIRE_PUBLISHERS[:1], tuple(subjects), trace, interests
+    )

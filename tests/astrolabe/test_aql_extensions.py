@@ -1,0 +1,105 @@
+"""Tests for the extended AQL function set (beyond the paper's core)."""
+
+import pytest
+
+from repro.core.errors import AqlEvaluationError
+from repro.astrolabe.aql import evaluate
+
+ROWS = [
+    {"load": 1.0, "version": "v1", "name": "Alpha"},
+    {"load": 2.0, "version": "v2", "name": "beta"},
+    {"load": 3.0, "version": "v1", "name": "Gamma"},
+    {"load": 10.0, "version": "v3", "name": "delta"},
+]
+
+
+class TestNewAggregates:
+    def test_median_odd(self):
+        rows = [{"x": 1}, {"x": 5}, {"x": 3}]
+        assert evaluate("SELECT MEDIAN(x) AS m", rows) == {"m": 3}
+
+    def test_median_even_interpolates(self):
+        assert evaluate("SELECT MEDIAN(load) AS m", ROWS) == {"m": 2.5}
+
+    def test_median_empty_is_null(self):
+        assert evaluate("SELECT MEDIAN(x) AS m", []) == {"m": None}
+
+    def test_stddev(self):
+        rows = [{"x": 2}, {"x": 4}, {"x": 4}, {"x": 4}, {"x": 5},
+                {"x": 5}, {"x": 7}, {"x": 9}]
+        result = evaluate("SELECT STDDEV(x) AS s", rows)
+        assert result["s"] == pytest.approx(2.0)
+
+    def test_stddev_single_sample_is_null(self):
+        assert evaluate("SELECT STDDEV(x) AS s", [{"x": 1}]) == {"s": None}
+
+    def test_countd(self):
+        assert evaluate("SELECT COUNTD(version) AS n", ROWS) == {"n": 3}
+
+    def test_countd_skips_null(self):
+        rows = [{"x": 1}, {"x": None}, {"x": 1}]
+        assert evaluate("SELECT COUNTD(x) AS n", rows) == {"n": 1}
+
+    def test_median_type_error(self):
+        with pytest.raises(AqlEvaluationError):
+            evaluate("SELECT MEDIAN(version) AS m", ROWS)
+
+
+class TestNewScalars:
+    def test_round(self):
+        assert evaluate("SELECT MAX(ROUND(load / 3, 2)) AS r", ROWS) == {
+            "r": pytest.approx(3.33)
+        }
+
+    def test_round_to_integer(self):
+        assert evaluate("SELECT MAX(ROUND(load / 3)) AS r", ROWS) == {"r": 3}
+
+    def test_round_null_propagates(self):
+        assert evaluate("SELECT MAX(ROUND(ghost)) AS r", [{"x": 1}]) == {"r": None}
+
+    def test_upper_lower(self):
+        result = evaluate(
+            "SELECT COUNT(*) AS n WHERE UPPER(name) = 'ALPHA'", ROWS
+        )
+        assert result == {"n": 1}
+        result = evaluate(
+            "SELECT COUNT(*) AS n WHERE LOWER(name) = 'gamma'", ROWS
+        )
+        assert result == {"n": 1}
+
+    def test_upper_type_error(self):
+        with pytest.raises(AqlEvaluationError):
+            evaluate("SELECT COUNT(*) AS n WHERE UPPER(load) = 'X'", ROWS)
+
+    def test_minv_maxv(self):
+        rows = [{"a": 3, "b": 7}]
+        assert evaluate("SELECT MAX(MINV(a, b)) AS lo, MAX(MAXV(a, b)) AS hi",
+                        rows) == {"lo": 3, "hi": 7}
+
+    def test_minv_skips_nulls(self):
+        rows = [{"a": None, "b": 7}]
+        assert evaluate("SELECT MAX(MINV(a, b)) AS lo", rows) == {"lo": 7}
+
+    def test_minv_all_null(self):
+        rows = [{"a": None}]
+        assert evaluate("SELECT MAX(MINV(a, a)) AS lo", rows) == {"lo": None}
+
+    def test_minv_incomparable(self):
+        rows = [{"a": 1, "b": "x"}]
+        with pytest.raises(AqlEvaluationError):
+            evaluate("SELECT MAX(MINV(a, b)) AS lo", rows)
+
+
+class TestCompositions:
+    def test_rollout_dashboard_query(self):
+        """The kind of management query §4 motivates."""
+        result = evaluate(
+            "SELECT COUNTD(version) AS versions, "
+            "MEDIAN(load) AS typical, "
+            "STDDEV(load) AS spread "
+            "WHERE load < 10",
+            ROWS,
+        )
+        assert result["versions"] == 2
+        assert result["typical"] == 2.0
+        assert result["spread"] is not None

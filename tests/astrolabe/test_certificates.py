@@ -1,0 +1,110 @@
+"""Tests for certificates and the keychain."""
+
+import pytest
+
+from repro.core.errors import CertificateError
+from repro.core.identifiers import ZonePath
+from repro.astrolabe.certificates import (
+    AggregationCertificate,
+    Certificate,
+    KeyChain,
+    PublisherCertificate,
+)
+
+
+@pytest.fixture
+def keychain() -> KeyChain:
+    chain = KeyChain()
+    chain.register("admin")
+    return chain
+
+
+class TestKeyChain:
+    def test_register_derives_secret(self, keychain):
+        secret = keychain.register("alice")
+        assert secret == keychain.secret_for("alice")
+
+    def test_register_custom_secret(self, keychain):
+        keychain.register("bob", b"s3cret")
+        assert keychain.secret_for("bob") == b"s3cret"
+
+    def test_unknown_principal(self, keychain):
+        with pytest.raises(CertificateError):
+            keychain.secret_for("mallory")
+
+    def test_contains(self, keychain):
+        assert "admin" in keychain
+        assert "ghost" not in keychain
+
+
+class TestCertificate:
+    def test_issue_and_verify(self, keychain):
+        cert = Certificate.issue("test", "admin", {"x": 1}, keychain)
+        cert.verify(keychain)
+
+    def test_tampered_payload_fails(self, keychain):
+        cert = Certificate.issue("test", "admin", {"x": 1}, keychain)
+        forged = Certificate(cert.kind, cert.issuer, (("x", 2),), cert.signature)
+        with pytest.raises(CertificateError):
+            forged.verify(keychain)
+
+    def test_wrong_issuer_fails(self, keychain):
+        keychain.register("other")
+        cert = Certificate.issue("test", "admin", {"x": 1}, keychain)
+        forged = Certificate(cert.kind, "other", cert.payload, cert.signature)
+        with pytest.raises(CertificateError):
+            forged.verify(keychain)
+
+    def test_getitem_and_get(self, keychain):
+        cert = Certificate.issue("test", "admin", {"x": 1}, keychain)
+        assert cert["x"] == 1
+        assert cert.get("y", "d") == "d"
+        with pytest.raises(KeyError):
+            cert["y"]
+
+
+class TestAggregationCertificate:
+    def test_issue_fields(self, keychain):
+        cert = AggregationCertificate.issue(
+            "core", "SELECT COUNT(*) AS n", "admin", keychain,
+            scope=ZonePath.parse("/usa"), issued_at=5.0,
+        )
+        assert cert.name == "core"
+        assert cert.aql_source == "SELECT COUNT(*) AS n"
+        assert cert.scope == ZonePath.parse("/usa")
+        assert cert.issued_at == 5.0
+        cert.verify(keychain)
+
+    def test_unsigned_issuer_rejected(self, keychain):
+        cert = AggregationCertificate.issue(
+            "core", "SELECT COUNT(*) AS n", "admin", keychain
+        )
+        empty = KeyChain()
+        with pytest.raises(CertificateError):
+            cert.verify(empty)
+
+
+class TestPublisherCertificate:
+    def test_fields(self, keychain):
+        keychain.register("slashdot")
+        cert = PublisherCertificate.issue(
+            "slashdot", "admin", keychain, max_rate=5.0,
+            scope=ZonePath.parse("/usa"),
+        )
+        assert cert.publisher == "slashdot"
+        assert cert.max_rate == 5.0
+        cert.verify(keychain)
+
+    def test_allows_zone_scoping(self, keychain):
+        cert = PublisherCertificate.issue(
+            "p", "admin", keychain, scope=ZonePath.parse("/usa")
+        )
+        assert cert.allows_zone(ZonePath.parse("/usa"))
+        assert cert.allows_zone(ZonePath.parse("/usa/ithaca"))
+        assert not cert.allows_zone(ZonePath.parse("/europe"))
+        assert not cert.allows_zone(ZonePath())  # root is wider than scope
+
+    def test_root_scope_allows_everything(self, keychain):
+        cert = PublisherCertificate.issue("p", "admin", keychain)
+        assert cert.allows_zone(ZonePath())
+        assert cert.allows_zone(ZonePath.parse("/anywhere/deep"))

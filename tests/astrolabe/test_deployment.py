@@ -1,0 +1,124 @@
+"""Tests for the deployment builder and balanced zone trees."""
+
+import pytest
+
+from repro.core.config import NewsWireConfig
+from repro.core.errors import ConfigurationError
+from repro.astrolabe.deployment import balanced_paths, build_astrolabe
+
+
+class TestBalancedPaths:
+    def test_count(self):
+        assert len(balanced_paths(10, 4)) == 10
+
+    def test_unique(self):
+        paths = balanced_paths(100, 8)
+        assert len(set(paths)) == 100
+
+    def test_zone_size_bound(self):
+        for num_nodes, branching in ((100, 8), (64, 4), (200, 16)):
+            paths = balanced_paths(num_nodes, branching)
+            from collections import Counter
+            parents = Counter(path.parent() for path in paths)
+            assert max(parents.values()) <= branching
+            # internal zones are bounded too
+            grandparents = Counter(
+                parent.parent() for parent in parents if not parent.is_root
+            )
+            if grandparents:
+                assert max(grandparents.values()) <= branching
+
+    def test_uniform_depth(self):
+        paths = balanced_paths(100, 8)
+        assert len({path.depth for path in paths}) == 1
+
+    def test_single_node(self):
+        paths = balanced_paths(1, 8)
+        assert len(paths) == 1
+        assert paths[0].depth == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            balanced_paths(0, 8)
+        with pytest.raises(ConfigurationError):
+            balanced_paths(10, 1)
+
+
+class TestBuildAstrolabe:
+    def test_preseed_gives_consistent_time_zero_state(self):
+        deployment = build_astrolabe(
+            30, NewsWireConfig(branching_factor=8), seed=5
+        )
+        assert {
+            agent.root_aggregate("nmembers") for agent in deployment.agents
+        } == {30}
+
+    def test_without_preseed_only_own_branch(self):
+        deployment = build_astrolabe(
+            30, NewsWireConfig(branching_factor=8), seed=5, preseed=False
+        )
+        views = {agent.root_aggregate("nmembers") for agent in deployment.agents}
+        assert 30 not in views  # nobody has the global picture yet
+
+    def test_determinism_across_builds(self):
+        def run():
+            deployment = build_astrolabe(
+                20, NewsWireConfig(branching_factor=8), seed=5
+            )
+            deployment.agents[3].set_load(2.0)
+            deployment.run_rounds(5)
+            return (
+                deployment.sim.events_processed,
+                deployment.network.stats.delivered,
+                [agent.root_aggregate("maxload") for agent in deployment.agents],
+            )
+
+        assert run() == run()
+
+    def test_different_seeds_differ(self):
+        def fingerprint(seed):
+            deployment = build_astrolabe(
+                20, NewsWireConfig(branching_factor=8), seed=seed
+            )
+            deployment.run_rounds(5)
+            # Traffic volume depends on jitter and partner choices.
+            return (
+                deployment.network.stats.total_bytes,
+                deployment.sim.events_processed,
+            )
+
+        assert fingerprint(1) != fingerprint(2)
+
+    def test_configure_agent_runs_before_preseed(self):
+        def configure(agent, index):
+            agent.set_attribute("idx", index)
+
+        deployment = build_astrolabe(
+            10, NewsWireConfig(branching_factor=8), seed=5,
+            configure_agent=configure,
+        )
+        # A sibling's replica must already hold the configured value.
+        agent = deployment.agents[0]
+        sibling_row = agent.zone_table(agent.parent_zone).row("n1")
+        assert sibling_row is not None and sibling_row["idx"] == 1
+
+    def test_agent_by_id(self):
+        deployment = build_astrolabe(5, NewsWireConfig(branching_factor=8))
+        agent = deployment.agents[2]
+        assert deployment.agent_by_id(agent.node_id) is agent
+        with pytest.raises(KeyError):
+            deployment.agent_by_id(agent.node_id.parent().child("ghost"))
+
+    def test_install_everywhere(self):
+        from repro.astrolabe.certificates import AggregationCertificate
+
+        deployment = build_astrolabe(5, NewsWireConfig(branching_factor=8))
+        cert = AggregationCertificate.issue(
+            "x", "SELECT COUNT(*) AS xn", "admin", deployment.keychain,
+            issued_at=1.0,
+        )
+        deployment.install_everywhere(cert)
+        assert all(
+            any(c.name == "x" for c in agent.aggregation_certificates())
+            for agent in deployment.agents
+        )

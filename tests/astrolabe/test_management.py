@@ -1,0 +1,114 @@
+"""Tests for the §4 management console."""
+
+import pytest
+
+from repro.core.config import NewsWireConfig
+from repro.core.errors import AqlSyntaxError, ZoneError
+from repro.core.identifiers import ZonePath
+from repro.astrolabe.deployment import build_astrolabe
+from repro.astrolabe.management import ManagementConsole
+
+
+@pytest.fixture
+def rig():
+    deployment = build_astrolabe(
+        48,
+        NewsWireConfig(branching_factor=8),
+        seed=23,
+        configure_agent=lambda agent, index: agent.set_load((index % 10) / 10.0),
+    )
+    deployment.run_rounds(6)
+    return deployment, ManagementConsole(deployment.agents[0])
+
+
+class TestNavigation:
+    def test_children_of_root(self, rig):
+        deployment, console = rig
+        children = console.children(ZonePath())
+        assert children
+        assert all(not child.is_leaf for child in children)
+        assert sum(child.get("nmembers") for child in children) == 48
+
+    def test_children_of_parent_zone_are_leaves(self, rig):
+        deployment, console = rig
+        leaves = console.children(console.agent.parent_zone)
+        assert all(leaf.is_leaf for leaf in leaves)
+
+    def test_unreplicated_zone_raises(self, rig):
+        deployment, console = rig
+        with pytest.raises(ZoneError):
+            console.children(ZonePath.parse("/nowhere"))
+
+    def test_visible_zones_root_first(self, rig):
+        deployment, console = rig
+        zones = list(console.visible_zones())
+        assert zones[0] == ZonePath()
+        assert zones[-1] == console.agent.parent_zone
+
+    def test_root_view_has_global_aggregates(self, rig):
+        deployment, console = rig
+        view = console.root_view()
+        assert view["nmembers"] == 48
+        assert view["maxload"] == 0.9
+
+
+class TestGuidance:
+    def test_least_loaded_returns_contacts_sorted(self, rig):
+        deployment, console = rig
+        picks = console.least_loaded(3)
+        assert len(picks) == 3
+        loads = [load for _, load in picks]
+        assert loads == sorted(loads)
+        assert loads[0] == 0.0
+
+    def test_hottest_zone(self, rig):
+        deployment, console = rig
+        hottest = console.hottest_zone()
+        assert hottest is not None
+        assert hottest.get("maxload") == 0.9
+
+
+class TestSearch:
+    def test_find_zones_by_aggregate(self, rig):
+        deployment, console = rig
+        matches = console.find_zones("COALESCE(maxload, load) >= 0.9")
+        assert matches
+        # Exactly the top-level zones whose aggregated maxload says so.
+        expected = {
+            str(child.zone)
+            for child in console.children(ZonePath())
+            if child.get("maxload") >= 0.9
+        }
+        root_matches = {
+            str(m.zone) for m in matches if m.zone.depth == 1
+        }
+        assert root_matches == expected
+
+    def test_find_leaf_rows(self, rig):
+        deployment, console = rig
+        matches = console.find_zones("leaf AND load = 0.4")
+        assert all(m.is_leaf for m in matches)
+        assert matches  # agent's own leaf zone has ~1 such member visible
+
+    def test_max_depth_limits_search(self, rig):
+        deployment, console = rig
+        matches = console.find_zones("COALESCE(nmembers, 1) > 0", max_depth=1)
+        assert all(m.zone.depth == 1 for m in matches)
+
+    def test_bad_predicate_raises(self, rig):
+        deployment, console = rig
+        with pytest.raises(AqlSyntaxError):
+            console.find_zones("((broken")
+
+    def test_rows_missing_attributes_do_not_match(self, rig):
+        deployment, console = rig
+        assert console.find_zones("ghostattr > 5") == []
+
+
+class TestReport:
+    def test_tree_report_mentions_all_levels(self, rig):
+        deployment, console = rig
+        report = console.tree_report()
+        assert report.startswith("/")
+        for zone in console.visible_zones():
+            assert str(zone) in report

@@ -1,0 +1,81 @@
+"""Tests for MIB rows."""
+
+import pytest
+
+from repro.core.errors import ZoneError
+from repro.astrolabe.mib import Row, check_attribute_value, make_version
+
+
+class TestRow:
+    def test_mapping_interface(self):
+        row = Row({"a": 1, "b": "x"}, (1.0, "w"), "w")
+        assert row["a"] == 1
+        assert row.get("b") == "x"
+        assert row.get("missing", 9) == 9
+        assert set(row) == {"a", "b"}
+        assert len(row) == 2
+
+    def test_version_and_writer(self):
+        row = Row({}, (2.5, "w"), "w")
+        assert row.version == (2.5, "w")
+        assert row.timestamp == 2.5
+        assert row.writer == "w"
+
+    def test_rejects_mutable_values(self):
+        with pytest.raises(ZoneError):
+            Row({"bad": [1, 2]}, (0.0, "w"), "w")
+        with pytest.raises(ZoneError):
+            Row({"bad": {"x": 1}}, (0.0, "w"), "w")
+
+    def test_rejects_mutable_inside_tuple(self):
+        with pytest.raises(ZoneError):
+            Row({"bad": (1, [2])}, (0.0, "w"), "w")
+
+    def test_allows_all_plain_types(self):
+        Row(
+            {"n": None, "b": True, "i": 1, "f": 1.5, "s": "x",
+             "y": b"z", "t": (1, "a", (2,))},
+            (0.0, "w"),
+            "w",
+        )
+
+    def test_updated_creates_new_row(self):
+        row = Row({"a": 1}, (1.0, "w"), "w")
+        newer = row.updated({"a": 2, "b": 3}, (2.0, "w"))
+        assert newer["a"] == 2 and newer["b"] == 3
+        assert row["a"] == 1  # original untouched
+        assert newer.version == (2.0, "w")
+
+    def test_attributes_returns_copy(self):
+        row = Row({"a": 1}, (1.0, "w"), "w")
+        copy = row.attributes()
+        copy["a"] = 99
+        assert row["a"] == 1
+
+    def test_mapping_property_is_zero_copy_view(self):
+        row = Row({"a": 1}, (1.0, "w"), "w")
+        assert row.mapping["a"] == 1
+
+    def test_wire_size_grows_with_content(self):
+        small = Row({"a": 1}, (1.0, "w"), "w")
+        big = Row({"a": "x" * 500}, (1.0, "w"), "w")
+        assert big.wire_size() > small.wire_size()
+
+    def test_wire_size_cached(self):
+        row = Row({"a": 1}, (1.0, "w"), "w")
+        assert row.wire_size() == row.wire_size()
+
+    def test_equality_and_hash(self):
+        a = Row({"x": 1}, (1.0, "w"), "w")
+        b = Row({"x": 1}, (1.0, "w"), "w")
+        c = Row({"x": 2}, (1.0, "w"), "w")
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_check_attribute_value_direct(self):
+        check_attribute_value("ok", (1, 2))
+        with pytest.raises(ZoneError):
+            check_attribute_value("bad", object())
+
+    def test_make_version(self):
+        assert make_version(1.0, "w") == (1.0, "w")

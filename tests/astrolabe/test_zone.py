@@ -1,0 +1,105 @@
+"""Tests for zone tables."""
+
+import pytest
+
+from repro.core.errors import ZoneError
+from repro.core.identifiers import ZonePath
+from repro.astrolabe.mib import Row
+from repro.astrolabe.zone import ZoneTable
+
+
+def row(version: float, writer: str = "w", **attrs) -> Row:
+    return Row(attrs, (version, writer), writer)
+
+
+@pytest.fixture
+def table() -> ZoneTable:
+    return ZoneTable(ZonePath.parse("/z"), max_rows=4)
+
+
+class TestRows:
+    def test_put_and_get(self, table):
+        table.put_row("a", row(1.0, x=1))
+        assert table.row("a")["x"] == 1
+
+    def test_put_newer_wins(self, table):
+        table.put_row("a", row(1.0, x=1))
+        assert table.put_row("a", row(2.0, x=2))
+        assert table.row("a")["x"] == 2
+
+    def test_put_older_rejected(self, table):
+        table.put_row("a", row(2.0, x=2))
+        assert not table.put_row("a", row(1.0, x=1))
+
+    def test_size_bound_on_new_children(self, table):
+        for index in range(4):
+            table.put_row(f"c{index}", row(1.0))
+        with pytest.raises(ZoneError):
+            table.put_row("c4", row(1.0))
+
+    def test_full_table_still_accepts_updates(self, table):
+        for index in range(4):
+            table.put_row(f"c{index}", row(1.0))
+        assert table.put_row("c0", row(2.0, x=9))
+
+    def test_min_rows_validation(self):
+        with pytest.raises(ZoneError):
+            ZoneTable(ZonePath.parse("/z"), max_rows=1)
+
+    def test_labels_sorted(self, table):
+        table.put_row("b", row(1.0))
+        table.put_row("a", row(1.0))
+        assert table.labels() == ("a", "b")
+
+    def test_remove_row(self, table):
+        table.put_row("a", row(1.0))
+        table.remove_row("a")
+        assert "a" not in table
+        assert table.is_empty
+
+    def test_row_mappings_uses_zone_attr_if_present(self, table):
+        table.put_row("a", row(1.0, zone="a", x=1))
+        mappings = table.row_mappings()
+        assert mappings[0]["zone"] == "a"
+
+    def test_row_mappings_adds_zone_overlay_if_missing(self, table):
+        table.put_row("a", row(1.0, x=1))
+        mappings = table.row_mappings()
+        assert mappings[0]["zone"] == "a"
+        assert "zone" not in table.row("a").mapping  # original untouched
+
+
+class TestAntiEntropy:
+    def test_digest_delta_roundtrip(self, table):
+        table.put_row("a", row(1.0, x=1))
+        other = ZoneTable(ZonePath.parse("/z"), max_rows=4)
+        delta = table.delta_for(other.digest())
+        other.apply_delta(delta)
+        assert other.row("a") == table.row("a")
+
+    def test_apply_delta_respects_bound(self):
+        small = ZoneTable(ZonePath.parse("/z"), max_rows=2)
+        big = ZoneTable(ZonePath.parse("/z"), max_rows=8)
+        for index in range(5):
+            big.put_row(f"c{index}", row(1.0))
+        changed = small.apply_delta(big.delta_for({}))
+        assert len(changed) == 2
+        assert len(small) == 2
+
+    def test_apply_delta_min_timestamp_rejects_stale(self, table):
+        other = ZoneTable(ZonePath.parse("/z"), max_rows=4)
+        other.put_row("old", row(1.0))
+        other.put_row("new", row(10.0))
+        changed = table.apply_delta(other.delta_for({}), min_timestamp=5.0)
+        assert changed == ["new"]
+
+    def test_expire_older_than(self, table):
+        table.put_row("old", row(1.0))
+        table.put_row("new", row(10.0))
+        assert table.expire_older_than(5.0) == ["old"]
+        assert table.labels() == ("new",)
+
+    def test_wire_size(self, table):
+        assert table.wire_size() == 0
+        table.put_row("a", row(1.0, x=1))
+        assert table.wire_size() > 0

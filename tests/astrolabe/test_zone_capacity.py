@@ -1,0 +1,64 @@
+"""Zone capacity: §3's size bound under membership pressure.
+
+"Each of these tables is limited to some small size (say, 64 rows)" —
+so a zone at capacity must refuse new members while continuing to
+serve existing ones, and the rest of the system must keep functioning.
+"""
+
+import pytest
+
+from repro.core.config import GossipConfig, NewsWireConfig
+from repro.core.errors import ZoneError
+from repro.astrolabe.deployment import build_astrolabe
+
+
+def build():
+    # branching 4 with 16 nodes -> leaf zones of exactly 4 (full).
+    config = NewsWireConfig(
+        branching_factor=4, gossip=GossipConfig(interval=1.0)
+    )
+    return build_astrolabe(16, config, seed=81)
+
+
+class TestFullZones:
+    def test_population_fills_zones_exactly(self):
+        deployment = build()
+        agent = deployment.agents[0]
+        assert len(agent.zone_table(agent.parent_zone)) == 4
+
+    def test_joiner_into_full_zone_never_admitted(self):
+        deployment = build()
+        deployment.run_rounds(2)
+        veteran = deployment.agents[0]
+        joiner = deployment.add_agent(
+            veteran.parent_zone.child("n999"), introducer=veteran.node_id
+        )
+        deployment.run_rounds(12)
+        # The veterans' tables refused the 5th row...
+        for agent in deployment.agents[:16]:
+            if agent.parent_zone == veteran.parent_zone:
+                assert "n999" not in agent.zone_table(agent.parent_zone).labels()
+        # ...and the global aggregate still counts only the 16 members.
+        assert all(
+            agent.root_aggregate("nmembers") == 16
+            for agent in deployment.agents[:16]
+        )
+
+    def test_full_zone_still_refreshes_members(self):
+        deployment = build()
+        deployment.run_rounds(2)
+        deployment.agents[1].set_load(5.0)
+        deployment.run_rounds(8)
+        assert all(
+            agent.root_aggregate("maxload") == 5.0
+            for agent in deployment.agents
+        )
+
+    def test_direct_put_into_full_table_raises(self):
+        deployment = build()
+        agent = deployment.agents[0]
+        from repro.astrolabe.mib import Row
+
+        table = agent.zone_table(agent.parent_zone)
+        with pytest.raises(ZoneError):
+            table.put_row("extra", Row({"x": 1}, (99.0, "w"), "w"))

@@ -1,0 +1,30 @@
+"""Shared fixtures for the NewsWire test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import NewsWireConfig
+from repro.core.identifiers import ZonePath
+from repro.sim.engine import Simulation
+from repro.sim.network import FixedLatency, Network
+
+
+@pytest.fixture
+def sim() -> Simulation:
+    return Simulation(seed=1234)
+
+
+@pytest.fixture
+def network(sim: Simulation) -> Network:
+    return Network(sim, latency=FixedLatency(0.01))
+
+
+@pytest.fixture
+def small_config() -> NewsWireConfig:
+    """A config sized for fast unit tests."""
+    return NewsWireConfig(branching_factor=8)
+
+
+def zp(text: str) -> ZonePath:
+    return ZonePath.parse(text)

@@ -1,0 +1,104 @@
+"""Tests for the §7 per-publisher category bitmask prototype."""
+
+import pytest
+
+from repro.core.bitmask import CategoryMask, CategoryRegistry
+from repro.core.errors import ConfigurationError, SubscriptionError
+
+
+class TestCategoryRegistry:
+    def test_register_assigns_sequential_bits(self):
+        registry = CategoryRegistry()
+        assert registry.register("tech") == 0
+        assert registry.register("science") == 1
+
+    def test_register_idempotent(self):
+        registry = CategoryRegistry()
+        bit = registry.register("tech")
+        assert registry.register("tech") == bit
+        assert len(registry) == 1
+
+    def test_bit_for_unknown_raises(self):
+        with pytest.raises(SubscriptionError):
+            CategoryRegistry().bit_for("nope")
+
+    def test_capacity_enforced(self):
+        registry = CategoryRegistry(capacity=2)
+        registry.register("a")
+        registry.register("b")
+        with pytest.raises(SubscriptionError):
+            registry.register("c")
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            CategoryRegistry(capacity=0)
+
+    def test_contains_and_categories(self):
+        registry = CategoryRegistry()
+        registry.register("tech")
+        assert "tech" in registry
+        assert registry.categories() == ("tech",)
+
+
+class TestCategoryMask:
+    def _registry(self):
+        registry = CategoryRegistry()
+        for name in ("tech", "science", "games"):
+            registry.register(name)
+        return registry
+
+    def test_of_and_contains(self):
+        registry = self._registry()
+        mask = CategoryMask.of(registry, ["tech", "games"])
+        assert "tech" in mask and "games" in mask and "science" not in mask
+
+    def test_add_discard(self):
+        registry = self._registry()
+        mask = CategoryMask(registry)
+        mask.add("tech")
+        assert "tech" in mask
+        mask.discard("tech")
+        assert "tech" not in mask
+        assert mask.is_empty
+
+    def test_overlaps(self):
+        registry = self._registry()
+        a = CategoryMask.of(registry, ["tech"])
+        b = CategoryMask.of(registry, ["tech", "games"])
+        c = CategoryMask.of(registry, ["science"])
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_union_is_or(self):
+        registry = self._registry()
+        a = CategoryMask.of(registry, ["tech"])
+        b = CategoryMask.of(registry, ["science"])
+        merged = a | b
+        assert set(merged.categories()) == {"tech", "science"}
+
+    def test_ior(self):
+        registry = self._registry()
+        a = CategoryMask.of(registry, ["tech"])
+        a |= CategoryMask.of(registry, ["games"])
+        assert "games" in a
+
+    def test_cross_registry_rejected(self):
+        a = CategoryMask(self._registry())
+        b = CategoryMask(self._registry())
+        with pytest.raises(ConfigurationError):
+            a.overlaps(b)
+
+    def test_to_int_matches_bits(self):
+        registry = self._registry()
+        mask = CategoryMask.of(registry, ["tech", "games"])  # bits 0 and 2
+        assert mask.to_int() == 0b101
+
+    def test_unknown_category_raises(self):
+        registry = self._registry()
+        with pytest.raises(SubscriptionError):
+            CategoryMask(registry).add("cooking")
+
+    def test_equality(self):
+        registry = self._registry()
+        assert CategoryMask.of(registry, ["tech"]) == CategoryMask.of(registry, ["tech"])
+        assert CategoryMask.of(registry, ["tech"]) != CategoryMask.of(registry, ["games"])

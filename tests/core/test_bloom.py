@@ -1,0 +1,233 @@
+"""Tests for Bloom filters: correctness and aggregation soundness."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bloom import BloomFilter, CountingBloomFilter, bit_positions
+from repro.core.errors import ConfigurationError
+
+SUBJECTS = st.lists(
+    st.text(min_size=1, max_size=20), min_size=0, max_size=40, unique=True
+)
+
+
+class TestBitPositions:
+    def test_deterministic(self):
+        assert bit_positions("tech", 1024, 3) == bit_positions("tech", 1024, 3)
+
+    def test_within_range(self):
+        for pos in bit_positions("anything", 64, 8):
+            assert 0 <= pos < 64
+
+    def test_k_positions(self):
+        assert len(bit_positions("x", 1024, 5)) == 5
+
+    def test_different_items_usually_differ(self):
+        a = bit_positions("tech", 4096, 2)
+        b = bit_positions("sports", 4096, 2)
+        assert a != b
+
+
+class TestBloomFilter:
+    def test_empty_contains_nothing(self):
+        bloom = BloomFilter(128, 2)
+        assert "tech" not in bloom
+        assert bloom.is_empty
+
+    def test_add_then_contains(self):
+        bloom = BloomFilter(128, 2)
+        bloom.add("tech")
+        assert "tech" in bloom
+
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(256, 3)
+        items = [f"subject-{i}" for i in range(100)]
+        for item in items:
+            bloom.add(item)
+        assert all(item in bloom for item in items)
+
+    def test_add_returns_positions(self):
+        bloom = BloomFilter(128, 2)
+        positions = bloom.add("tech")
+        assert positions == bloom.positions("tech")
+        assert bloom.test_positions(positions)
+
+    def test_from_items(self):
+        bloom = BloomFilter.from_items(["a", "b"], 64, 1)
+        assert "a" in bloom and "b" in bloom
+
+    def test_clear(self):
+        bloom = BloomFilter.from_items(["a"], 64, 1)
+        bloom.clear()
+        assert bloom.is_empty
+
+    def test_bit_count_and_fill(self):
+        bloom = BloomFilter(100, 1)
+        bloom.set_positions([3, 50, 99])
+        assert bloom.bit_count == 3
+        assert bloom.fill_ratio == pytest.approx(0.03)
+
+    def test_set_positions_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            BloomFilter(8, 1).set_positions([8])
+
+    def test_test_bit(self):
+        bloom = BloomFilter(16, 1)
+        bloom.set_positions([5])
+        assert bloom.test_bit(5)
+        assert not bloom.test_bit(6)
+
+    def test_test_bit_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            BloomFilter(8, 1).test_bit(9)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ConfigurationError):
+            BloomFilter(0, 1)
+        with pytest.raises(ConfigurationError):
+            BloomFilter(8, 0)
+
+    def test_sized_for(self):
+        bloom = BloomFilter.sized_for(expected_items=1000, target_fp_rate=0.01)
+        assert bloom.num_bits >= 9000  # -n ln(p)/ln2^2 ≈ 9585
+        assert bloom.num_hashes >= 1
+
+    def test_sized_for_validation(self):
+        with pytest.raises(ConfigurationError):
+            BloomFilter.sized_for(0, 0.1)
+        with pytest.raises(ConfigurationError):
+            BloomFilter.sized_for(10, 1.5)
+
+    def test_union(self):
+        a = BloomFilter.from_items(["x"], 64, 1)
+        b = BloomFilter.from_items(["y"], 64, 1)
+        merged = a | b
+        assert "x" in merged and "y" in merged
+
+    def test_union_geometry_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            BloomFilter(64, 1).union(BloomFilter(128, 1))
+
+    def test_ior_in_place(self):
+        a = BloomFilter.from_items(["x"], 64, 1)
+        a |= BloomFilter.from_items(["y"], 64, 1)
+        assert "y" in a
+
+    def test_issubset(self):
+        a = BloomFilter.from_items(["x"], 64, 1)
+        both = BloomFilter.from_items(["x", "y"], 64, 1)
+        assert a.issubset(both)
+        assert not both.issubset(a) or both == a
+
+    def test_int_roundtrip(self):
+        bloom = BloomFilter.from_items(["a", "b", "c"], 256, 2)
+        again = BloomFilter.from_int(bloom.to_int(), 256, 2)
+        assert again == bloom
+
+    def test_bytes_roundtrip(self):
+        bloom = BloomFilter.from_items(["a", "b"], 100, 1)
+        again = BloomFilter.from_bytes(bloom.to_bytes(), 100, 1)
+        assert again == bloom
+
+    def test_from_int_too_wide(self):
+        with pytest.raises(ConfigurationError):
+            BloomFilter.from_int(1 << 70, 64, 1)
+
+    def test_copy_is_independent(self):
+        a = BloomFilter.from_items(["x"], 64, 1)
+        b = a.copy()
+        b.add("y")
+        assert "y" not in a
+
+    def test_set_bit_positions_iterates_ascending(self):
+        bloom = BloomFilter(64, 1)
+        bloom.set_positions([40, 3, 17])
+        assert list(bloom.set_bit_positions()) == [3, 17, 40]
+
+    def test_expected_fp_rate_monotone_in_fill(self):
+        sparse = BloomFilter(1024, 1)
+        sparse.set_positions(range(10))
+        dense = BloomFilter(1024, 1)
+        dense.set_positions(range(512))
+        assert sparse.expected_fp_rate() < dense.expected_fp_rate()
+
+    @given(SUBJECTS)
+    @settings(max_examples=50)
+    def test_property_no_false_negatives(self, items):
+        bloom = BloomFilter(512, 2)
+        for item in items:
+            bloom.add(item)
+        assert all(item in bloom for item in items)
+
+    @given(SUBJECTS, SUBJECTS)
+    @settings(max_examples=50)
+    def test_property_union_soundness(self, left, right):
+        """The paper's OR-aggregation: parent = child1 | child2 must
+        answer True for anything either child answers True for."""
+        a = BloomFilter.from_items(left, 256, 1)
+        b = BloomFilter.from_items(right, 256, 1)
+        parent = a | b
+        assert a.issubset(parent) and b.issubset(parent)
+        for item in list(left) + list(right):
+            assert item in parent
+
+    @given(SUBJECTS, SUBJECTS, SUBJECTS)
+    @settings(max_examples=25)
+    def test_property_union_commutative_associative(self, x, y, z):
+        a = BloomFilter.from_items(x, 128, 1)
+        b = BloomFilter.from_items(y, 128, 1)
+        c = BloomFilter.from_items(z, 128, 1)
+        assert (a | b) == (b | a)
+        assert ((a | b) | c) == (a | (b | c))
+        assert (a | a) == a
+
+
+class TestCountingBloomFilter:
+    def test_add_remove_roundtrip(self):
+        counting = CountingBloomFilter(128, 2)
+        counting.add("tech")
+        assert "tech" in counting
+        counting.remove("tech")
+        assert "tech" not in counting
+        assert counting.is_empty
+
+    def test_remove_missing_raises(self):
+        counting = CountingBloomFilter(128, 2)
+        with pytest.raises(KeyError):
+            counting.remove("never-added")
+
+    def test_shared_bits_survive_one_removal(self):
+        counting = CountingBloomFilter(1, 1)  # force total collision
+        counting.add("a")
+        counting.add("b")
+        counting.remove("a")
+        assert "b" in counting
+
+    def test_to_bloom_projection(self):
+        counting = CountingBloomFilter(128, 2)
+        counting.add("x")
+        bloom = counting.to_bloom()
+        assert "x" in bloom
+
+    def test_double_add_needs_double_remove(self):
+        counting = CountingBloomFilter(128, 1)
+        counting.add("x")
+        counting.add("x")
+        counting.remove("x")
+        assert "x" in counting
+        counting.remove("x")
+        assert "x" not in counting
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ConfigurationError):
+            CountingBloomFilter(0, 1)
+
+    @given(SUBJECTS)
+    @settings(max_examples=30)
+    def test_property_add_all_remove_all_empty(self, items):
+        counting = CountingBloomFilter(256, 2)
+        for item in items:
+            counting.add(item)
+        for item in items:
+            counting.remove(item)
+        assert counting.is_empty

@@ -1,0 +1,147 @@
+"""Tests for zone paths and item identifiers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import ZoneError
+from repro.core.identifiers import ItemId, ROOT, ZonePath
+
+LABEL = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789_-.", min_size=1, max_size=8
+)
+PATHS = st.lists(LABEL, min_size=0, max_size=5).map(lambda ls: ZonePath(tuple(ls)))
+
+
+class TestZonePathParsing:
+    def test_root_from_slash(self):
+        assert ZonePath.parse("/") == ROOT
+
+    def test_root_from_empty(self):
+        assert ZonePath.parse("") == ROOT
+
+    def test_simple_path(self):
+        path = ZonePath.parse("/usa/ithaca")
+        assert path.labels == ("usa", "ithaca")
+
+    def test_str_roundtrip(self):
+        path = ZonePath.parse("/a/b/c")
+        assert ZonePath.parse(str(path)) == path
+
+    def test_root_str(self):
+        assert str(ROOT) == "/"
+
+    def test_requires_leading_slash(self):
+        with pytest.raises(ZoneError):
+            ZonePath.parse("usa/ithaca")
+
+    def test_rejects_bad_label(self):
+        with pytest.raises(ZoneError):
+            ZonePath(("ok", "not ok"))
+
+    def test_rejects_empty_label_via_constructor(self):
+        with pytest.raises(ZoneError):
+            ZonePath(("",))
+
+    def test_double_slash_collapses(self):
+        assert ZonePath.parse("/a//b") == ZonePath.parse("/a/b")
+
+
+class TestZonePathNavigation:
+    def test_depth(self):
+        assert ROOT.depth == 0
+        assert ZonePath.parse("/a/b").depth == 2
+
+    def test_is_root(self):
+        assert ROOT.is_root
+        assert not ZonePath.parse("/a").is_root
+
+    def test_name(self):
+        assert ZonePath.parse("/a/b").name == "b"
+        assert ROOT.name == "/"
+
+    def test_child(self):
+        assert ZonePath.parse("/a").child("b") == ZonePath.parse("/a/b")
+
+    def test_parent(self):
+        assert ZonePath.parse("/a/b").parent() == ZonePath.parse("/a")
+
+    def test_root_has_no_parent(self):
+        with pytest.raises(ZoneError):
+            ROOT.parent()
+
+    def test_ancestors_excludes_self_by_default(self):
+        path = ZonePath.parse("/a/b/c")
+        assert list(path.ancestors()) == [
+            ROOT,
+            ZonePath.parse("/a"),
+            ZonePath.parse("/a/b"),
+        ]
+
+    def test_ancestors_include_self(self):
+        path = ZonePath.parse("/a/b")
+        assert list(path.ancestors(include_self=True))[-1] == path
+
+    def test_is_ancestor_of(self):
+        assert ZonePath.parse("/a").is_ancestor_of(ZonePath.parse("/a/b"))
+        assert not ZonePath.parse("/a/b").is_ancestor_of(ZonePath.parse("/a"))
+        assert not ZonePath.parse("/a").is_ancestor_of(ZonePath.parse("/a"))
+
+    def test_contains_includes_self(self):
+        path = ZonePath.parse("/a")
+        assert path.contains(path)
+        assert path.contains(ZonePath.parse("/a/b"))
+        assert not path.contains(ZonePath.parse("/b"))
+
+    def test_root_contains_everything(self):
+        assert ROOT.contains(ZonePath.parse("/x/y/z"))
+
+    def test_relative_to(self):
+        path = ZonePath.parse("/a/b/c")
+        assert path.relative_to(ZonePath.parse("/a")) == ("b", "c")
+
+    def test_relative_to_non_ancestor_raises(self):
+        with pytest.raises(ZoneError):
+            ZonePath.parse("/a/b").relative_to(ZonePath.parse("/x"))
+
+    def test_ordering_is_lexicographic(self):
+        assert ZonePath.parse("/a") < ZonePath.parse("/a/b") < ZonePath.parse("/b")
+
+    def test_hashable_and_usable_as_dict_key(self):
+        d = {ZonePath.parse("/a"): 1}
+        assert d[ZonePath.parse("/a")] == 1
+
+    @given(PATHS)
+    def test_ancestors_chain_by_child(self, path):
+        rebuilt = ROOT
+        for label in path.labels:
+            rebuilt = rebuilt.child(label)
+        assert rebuilt == path
+
+    @given(PATHS, PATHS)
+    def test_contains_antisymmetric_unless_equal(self, a, b):
+        if a.contains(b) and b.contains(a):
+            assert a == b
+
+
+class TestItemId:
+    def test_str_format(self):
+        assert str(ItemId("slashdot", 7)) == "slashdot:7.r0"
+
+    def test_revision_in_str(self):
+        assert str(ItemId("ap", 1, 3)) == "ap:1.r3"
+
+    def test_with_revision(self):
+        item = ItemId("ap", 1)
+        assert item.with_revision(2) == ItemId("ap", 1, 2)
+
+    def test_story_key_stable_across_revisions(self):
+        a = ItemId("ap", 5, 0)
+        b = a.with_revision(4)
+        assert a.story_key == b.story_key
+
+    def test_ordering(self):
+        assert ItemId("ap", 1) < ItemId("ap", 2) < ItemId("reuters", 1)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            ItemId("x", 1).serial = 2  # type: ignore[misc]

@@ -1,0 +1,60 @@
+"""Tests for gossip partner selection."""
+
+import random
+
+from repro.gossip.peersampling import ShuffleSelector, UniformSelector
+
+
+class TestUniformSelector:
+    def test_empty_candidates(self):
+        assert UniformSelector(random.Random(1)).select([]) == []
+
+    def test_respects_fanout(self):
+        selector = UniformSelector(random.Random(1), fanout=2)
+        picked = selector.select(list(range(10)))
+        assert len(picked) == 2
+        assert len(set(picked)) == 2  # without replacement
+
+    def test_fanout_clamped_to_population(self):
+        selector = UniformSelector(random.Random(1), fanout=5)
+        assert len(selector.select([1, 2])) == 2
+
+    def test_deterministic_given_seed(self):
+        a = UniformSelector(random.Random(7)).select(list(range(100)))
+        b = UniformSelector(random.Random(7)).select(list(range(100)))
+        assert a == b
+
+    def test_covers_all_eventually(self):
+        selector = UniformSelector(random.Random(1))
+        seen = set()
+        for _ in range(200):
+            seen.update(selector.select([1, 2, 3, 4]))
+        assert seen == {1, 2, 3, 4}
+
+
+class TestShuffleSelector:
+    def test_sweep_covers_everyone_once_per_round(self):
+        selector = ShuffleSelector(random.Random(1))
+        candidates = list(range(8))
+        picks = [selector.select(candidates)[0] for _ in range(8)]
+        assert sorted(picks) == candidates  # each exactly once
+
+    def test_reshuffles_after_exhaustion(self):
+        selector = ShuffleSelector(random.Random(1))
+        candidates = [1, 2, 3]
+        first_round = [selector.select(candidates)[0] for _ in range(3)]
+        second_round = [selector.select(candidates)[0] for _ in range(3)]
+        assert sorted(first_round) == sorted(second_round) == candidates
+
+    def test_membership_change_resets(self):
+        selector = ShuffleSelector(random.Random(1))
+        selector.select([1, 2, 3])
+        picked = selector.select([4, 5])
+        assert picked[0] in (4, 5)
+
+    def test_empty(self):
+        assert ShuffleSelector(random.Random(1)).select([]) == []
+
+    def test_fanout_multiple(self):
+        selector = ShuffleSelector(random.Random(1), fanout=3)
+        assert len(selector.select([1, 2, 3, 4])) == 3

@@ -1,0 +1,93 @@
+"""Property-based whole-system convergence (§3's eventual consistency).
+
+"Astrolabe's epidemic communication techniques guarantee that the
+state represented is eventually consistent, e.g. if one were to freeze
+the system, all nodes would eventually enter into consistent states."
+
+Hypothesis drives random small populations through random load updates
+and crash/recovery schedules; after updates quiesce and enough rounds
+pass, every surviving agent must agree on the root aggregates.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.config import GossipConfig, NewsWireConfig
+from repro.astrolabe.deployment import build_astrolabe
+
+#: A schedule step: (agent index, action, value-or-downtime).
+STEPS = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=19),
+        st.sampled_from(["load", "crash_recover", "attr"]),
+        st.integers(min_value=0, max_value=50),
+    ),
+    max_size=8,
+)
+
+CONVERGENCE_SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _build(seed: int):
+    config = NewsWireConfig(
+        branching_factor=5,
+        gossip=GossipConfig(interval=1.0, jitter=0.5, row_ttl_rounds=8),
+    )
+    return build_astrolabe(20, config, seed=seed)
+
+
+class TestEventualConsistency:
+    @given(steps=STEPS, seed=st.integers(min_value=0, max_value=10))
+    @CONVERGENCE_SETTINGS
+    def test_survivors_agree_after_quiescence(self, steps, seed):
+        deployment = _build(seed)
+        sim = deployment.sim
+        agents = deployment.agents
+
+        for offset, (index, action, value) in enumerate(steps):
+            at = 1.0 + offset * 2.0
+            agent = agents[index]
+            if action == "load":
+                sim.call_at(at, lambda a=agent, v=value: (
+                    None if a.crashed else a.set_load(v / 10.0)
+                ))
+            elif action == "attr":
+                sim.call_at(at, lambda a=agent, v=value: (
+                    None if a.crashed else a.set_attribute("x", v)
+                ))
+            else:
+                deployment.failures.crash_for(at, agent, downtime=3.0)
+
+        # Quiesce: long enough for expiry + re-convergence of the
+        # deepest change (steps end by ~17s; TTL is 8s).
+        deployment.run_rounds(len(steps) * 2 + 30)
+
+        alive = deployment.alive_agents()
+        views = {
+            (agent.root_aggregate("nmembers"),
+             agent.root_aggregate("maxload"),
+             agent.root_aggregate("loadsum"))
+            for agent in alive
+        }
+        assert len(views) == 1, f"diverged views: {views}"
+        # And the agreed membership equals the surviving population
+        # (everyone recovered: downtime 3 s < TTL 8 s, so no expiry).
+        nmembers = next(iter(views))[0]
+        assert nmembers == len(alive) == 20
+
+    @given(seed=st.integers(min_value=0, max_value=20))
+    @settings(max_examples=10, deadline=None)
+    def test_maxload_is_true_maximum(self, seed):
+        deployment = _build(seed)
+        rng_loads = [(i * 13 % 47) / 10.0 for i in range(20)]
+        for agent, load in zip(deployment.agents, rng_loads):
+            agent.set_load(load)
+        deployment.run_rounds(12)
+        expected = max(rng_loads)
+        assert all(
+            agent.root_aggregate("maxload") == expected
+            for agent in deployment.agents
+        )

@@ -1,0 +1,59 @@
+"""Full-system determinism: identical seeds, identical universes.
+
+Every experiment's credibility rests on this: a NewsWire run — gossip,
+multicast, repair, failures, caches — must be a pure function of its
+seed and parameters.
+"""
+
+from repro.core.config import MulticastConfig, NewsWireConfig
+from repro.news.deployment import build_newswire
+from repro.pubsub.subscription import Subscription
+
+SUBJECT = "reuters/world"
+
+
+def _run(seed: int):
+    config = NewsWireConfig(
+        branching_factor=6,
+        multicast=MulticastConfig(
+            representatives=3, send_to_representatives=2, repair_interval=2.0
+        ),
+    )
+    system = build_newswire(
+        50,
+        config,
+        publisher_names=("reuters",),
+        subscriptions_for=lambda i: (Subscription(SUBJECT),),
+        seed=seed,
+        loss_rate=0.05,
+    )
+    system.run_for(3.0)
+    publisher = system.publisher("reuters")
+    items = [publisher.publish_news(SUBJECT, f"s{k}") for k in range(4)]
+    system.deployment.failures.crash_fraction(
+        system.sim.now + 0.5, system.nodes[1:], 0.1, downtime=5.0
+    )
+    system.run_for(40.0)
+    delivery_fingerprint = tuple(
+        sorted(
+            (event["node"], event["item"], round(event["latency"], 9))
+            for event in system.trace.events("deliver")
+        )
+    )
+    return (
+        system.sim.events_processed,
+        system.network.stats.delivered,
+        system.network.stats.dropped_loss,
+        system.trace.count("deliver"),
+        system.trace.count("repair-delivered"),
+        system.trace.count("dup-dropped"),
+        delivery_fingerprint,
+    )
+
+
+class TestDeterminism:
+    def test_identical_seed_identical_universe(self):
+        assert _run(7) == _run(7)
+
+    def test_different_seed_different_universe(self):
+        assert _run(7) != _run(8)

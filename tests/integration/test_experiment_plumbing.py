@@ -1,0 +1,81 @@
+"""Tests for the experiment helpers and the runner registry."""
+
+import pytest
+
+from repro.core.config import NewsWireConfig
+from repro.core.identifiers import ItemId
+from repro.experiments.common import (
+    body_text,
+    drive_trace,
+    expected_deliveries,
+    item_from_publication,
+)
+from repro.experiments.__main__ import FULL, QUICK, main
+from repro.news.deployment import build_newswire
+from repro.pubsub.subscription import Subscription
+from repro.workloads.populations import InterestModel
+from repro.workloads.traces import Publication
+
+
+class TestCommonHelpers:
+    def test_body_text_word_count(self):
+        text = body_text(10)
+        assert len(text.split()) == 10
+
+    def test_body_text_zero(self):
+        assert body_text(0) == ""
+
+    def test_item_from_publication(self):
+        publication = Publication(
+            time=5.0, subject="a/b", headline="H", body_words=20,
+            categories=("b",), urgency=3,
+        )
+        item = item_from_publication(publication, "pub", 7)
+        assert item.item_id == ItemId("pub", 7)
+        assert item.subject == "a/b"
+        assert item.urgency == 3
+        assert item.published_at == 5.0
+        assert len(item.body.split()) == 20
+
+    def test_expected_deliveries_keys_match_item_ids(self):
+        interests = InterestModel(["a/b", "a/c"], subscriptions_per_node=1, seed=1)
+        trace = [
+            Publication(time=1.0, subject="a/b", headline="x", body_words=10),
+            Publication(time=2.0, subject="a/c", headline="y", body_words=10),
+        ]
+        expected = expected_deliveries(interests, 20, trace, "pub")
+        assert set(expected) == {"pub:1.r0", "pub:2.r0"}
+        assert sum(expected.values()) == 20  # one subscription each
+
+    def test_drive_trace_counts_flow_control(self):
+        system = build_newswire(
+            20,
+            NewsWireConfig(branching_factor=6),
+            publisher_names=("p",),
+            publisher_rate=2.0,  # burst of 2, then blocked
+            subscriptions_for=lambda i: (Subscription("a/b"),),
+            seed=3,
+        )
+        trace = [
+            Publication(time=1.0 + k * 0.01, subject="a/b",
+                        headline=f"h{k}", body_words=10)
+            for k in range(6)
+        ]
+        stats = drive_trace(system, "p", trace)
+        system.run_for(5.0)
+        assert stats.published == 2
+        assert stats.flow_controlled == 4
+
+
+class TestRunnerRegistry:
+    def test_full_and_quick_cover_same_experiments(self):
+        assert set(FULL) == set(QUICK)
+        assert set(FULL) == {f"e{i}" for i in range(1, 12)}
+
+    def test_unknown_experiment_rejected(self):
+        assert main(["e99"]) == 2
+
+    def test_quick_runner_executes(self, capsys):
+        assert main(["--quick", "e10"]) == 0
+        out = capsys.readouterr().out
+        assert "E10" in out and "completed in" in out

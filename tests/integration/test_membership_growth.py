@@ -1,0 +1,78 @@
+"""Membership growth: a wave of joiners integrates into a running system."""
+
+import pytest
+
+from repro.core.config import GossipConfig, NewsWireConfig
+from repro.news.deployment import build_newswire
+from repro.news.node import NewsWireNode
+from repro.pubsub.subscription import Subscription
+
+SUBJECT = "p/s"
+
+
+class TestStaggeredJoins:
+    def test_wave_of_joiners_converges_and_receives(self):
+        # branching 16 leaves headroom in each ~7-member leaf zone; a
+        # full zone correctly *refuses* joiners (see §3's size bound),
+        # which is not what this test is about.
+        config = NewsWireConfig(
+            branching_factor=16,
+            gossip=GossipConfig(interval=1.0),
+        )
+        system = build_newswire(
+            40,
+            config,
+            publisher_names=("p",),
+            publisher_rate=50.0,
+            subscriptions_for=lambda i: (Subscription(SUBJECT),),
+            seed=71,
+        )
+        system.run_for(3.0)
+
+        # Ten joiners arrive one per second, each introduced by an
+        # existing member of the zone it lands in.
+        joiners: list[NewsWireNode] = []
+
+        def join_one(index: int) -> None:
+            introducer = system.nodes[index % 20]
+            node_id = introducer.node_id.parent().child(f"n{900 + index}")
+            joiner = system.deployment.add_agent(
+                node_id, introducer=introducer.node_id
+            )
+            assert isinstance(joiner, NewsWireNode)
+            joiner.subscribe(Subscription(SUBJECT))
+            joiners.append(joiner)
+
+        for index in range(10):
+            system.sim.call_at(4.0 + index, join_one, index)
+        system.run_for(30.0)
+
+        # Aggregated membership converged to 50 everywhere.
+        views = {
+            agent.root_aggregate("nmembers")
+            for agent in system.deployment.alive_agents()
+        }
+        assert views == {50}
+
+        # And new items reach the joiners through the tree.
+        item = system.publisher("p").publish_news(SUBJECT, "hello joiners")
+        system.run_for(20.0)
+        received = sum(1 for joiner in joiners if item.item_id in joiner.cache)
+        assert received == len(joiners)
+
+    def test_joiner_without_introducer_stays_isolated_until_contacted(self):
+        config = NewsWireConfig(branching_factor=8)
+        system = build_newswire(
+            20,
+            config,
+            publisher_names=("p",),
+            subscriptions_for=lambda i: (Subscription(SUBJECT),),
+            seed=72,
+        )
+        system.run_for(2.0)
+        lonely = system.deployment.add_agent(
+            system.nodes[0].node_id.parent().child("n999")
+        )
+        system.run_for(4.0)
+        # No introducer and no inbound contact: only its own row known.
+        assert lonely.root_aggregate("nmembers") in (1, None)

@@ -1,0 +1,102 @@
+"""Robustness fuzzing: junk and malformed messages must not crash nodes.
+
+The system runs on an open network (§2: cooperating *end-nodes*), so
+every handler must tolerate garbage — unknown message types, flood
+junk, even well-typed messages with nonsense contents.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import NewsWireConfig
+from repro.core.identifiers import ZonePath
+from repro.sim.failures import FloodMessage
+from repro.astrolabe.messages import GossipFinish, GossipReply, GossipRequest
+from repro.multicast.messages import RepairDigest, RepairRequest
+from repro.news.deployment import build_newswire
+from repro.pubsub.subscription import Subscription
+
+SUBJECT = "reuters/world"
+
+JUNK = st.one_of(
+    st.none(),
+    st.integers(),
+    st.text(max_size=20),
+    st.binary(max_size=20),
+    st.dictionaries(st.text(max_size=5), st.integers(), max_size=3),
+    st.builds(FloodMessage),
+)
+
+
+@pytest.fixture(scope="module")
+def system():
+    system = build_newswire(
+        40,
+        NewsWireConfig(branching_factor=6),
+        publisher_names=("reuters",),
+        subscriptions_for=lambda i: (Subscription(SUBJECT),),
+        seed=41,
+    )
+    system.run_for(4.0)
+    return system
+
+
+class TestJunkTolerance:
+    @given(junk=JUNK)
+    @settings(max_examples=40, deadline=None)
+    def test_arbitrary_payloads_ignored(self, system, junk):
+        node = system.nodes[3]
+        node.receive(system.nodes[5].node_id, junk)  # must not raise
+
+    def test_system_still_works_after_junk_storm(self, system):
+        attacker = ZonePath.parse("/attacker")
+        for index, node in enumerate(system.nodes):
+            system.network.send(attacker, node.node_id, b"\x00" * 16)
+            system.network.send(attacker, node.node_id, FloodMessage())
+        system.run_for(5.0)
+        item = system.publisher("reuters").publish_news(SUBJECT, "still alive")
+        system.run_for(20.0)
+        delivered = sum(
+            1 for node in system.nodes if item.item_id in node.cache
+        )
+        assert delivered == len(system.nodes)
+
+
+class TestMalformedProtocolMessages:
+    def test_gossip_request_for_unknown_zone_ignored(self, system):
+        node = system.nodes[0]
+        request = GossipRequest(
+            ZonePath.parse("/mars"),
+            {ZonePath.parse("/mars"): {"x": (1.0, "w")}},
+            {},
+        )
+        node.receive(system.nodes[1].node_id, request)
+
+    def test_gossip_reply_with_foreign_zones_ignored(self, system):
+        node = system.nodes[0]
+        reply = GossipReply(
+            ZonePath.parse("/mars"), {}, {ZonePath.parse("/mars"): {}}, {}, {}
+        )
+        node.receive(system.nodes[1].node_id, reply)
+
+    def test_empty_gossip_finish_ignored(self, system):
+        node = system.nodes[0]
+        node.receive(system.nodes[1].node_id, GossipFinish(ZonePath(), {}, {}))
+
+    def test_repair_digest_with_weird_entries(self, system):
+        node = system.nodes[0]
+        digest = RepairDigest(
+            entries=(
+                ("some-key", "no-such-subject", (), ZonePath()),
+                (12345, SUBJECT, ((1, 2),), ZonePath.parse("/elsewhere")),
+            )
+        )
+        node.receive(system.nodes[1].node_id, digest)
+        system.run_for(1.0)
+
+    def test_repair_request_for_unknown_items(self, system):
+        node = system.nodes[0]
+        node.receive(
+            system.nodes[1].node_id, RepairRequest(("nope", 42, None))
+        )
+        system.run_for(1.0)

@@ -1,0 +1,89 @@
+"""Tests for multicast wire messages: sizes and immutability."""
+
+import pytest
+
+from repro.core.identifiers import ZonePath
+from repro.multicast.messages import (
+    Envelope,
+    ForwardMsg,
+    RepairDigest,
+    RepairRequest,
+    RepairResponse,
+)
+
+
+def envelope(size=1024):
+    return Envelope(
+        item_key="k", payload={"x": 1}, publisher="p", subject="s",
+        wire_size=size,
+    )
+
+
+class TestEnvelope:
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            envelope().subject = "other"  # type: ignore[misc]
+
+    def test_defaults(self):
+        env = envelope()
+        assert env.scope == ZonePath()
+        assert env.zone_predicate is None
+        assert env.urgency == 5
+
+
+class TestWireSizes:
+    def test_forward_wraps_envelope(self):
+        message = ForwardMsg(ZonePath.parse("/z"), envelope(size=2000))
+        assert message.wire_size == 2048
+
+    def test_repair_digest_scales_with_entries(self):
+        small = RepairDigest((("k1", "s", (), ZonePath()),))
+        big = RepairDigest(
+            tuple((f"k{i}", "s", (), ZonePath()) for i in range(10))
+        )
+        assert big.wire_size > small.wire_size
+        assert small.wire_size > 0
+
+    def test_repair_request_scales_with_keys(self):
+        assert (
+            RepairRequest(("a", "b", "c")).wire_size
+            > RepairRequest(("a",)).wire_size
+        )
+
+    def test_repair_response_sums_envelopes(self):
+        response = RepairResponse((envelope(1000), envelope(500)))
+        assert response.wire_size == 24 + 1500
+
+
+class TestAstrolabeMessageSizes:
+    def test_gossip_request_counts_digests(self):
+        from repro.astrolabe.messages import GossipRequest
+
+        root = ZonePath()
+        empty = GossipRequest(root, {root: {}}, {})
+        full = GossipRequest(
+            root, {root: {f"c{i}": (1.0, "w") for i in range(10)}}, {}
+        )
+        assert full.wire_size > empty.wire_size
+
+    def test_gossip_reply_counts_rows(self):
+        from repro.astrolabe.messages import GossipReply
+        from repro.astrolabe.mib import Row
+        from repro.gossip.antientropy import Entry
+
+        root = ZonePath()
+        row = Row({"payload": "x" * 400}, (1.0, "w"), "w")
+        reply = GossipReply(
+            root, {root: {"c": Entry((1.0, "w"), row)}}, {root: {}}, {}, {}
+        )
+        assert reply.wire_size > row.wire_size()
+
+    def test_join_reply_counts_tables(self):
+        from repro.astrolabe.messages import JoinReply
+        from repro.astrolabe.mib import Row
+        from repro.gossip.antientropy import Entry
+
+        root = ZonePath()
+        row = Row({"a": 1}, (1.0, "w"), "w")
+        reply = JoinReply({root: {"c": Entry((1.0, "w"), row)}}, {})
+        assert reply.wire_size > 32

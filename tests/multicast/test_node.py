@@ -1,0 +1,180 @@
+"""Tests for zone-recursive multicast: dissemination, dedup, repair."""
+
+import pytest
+
+from repro.core.config import MulticastConfig, NewsWireConfig
+from repro.core.identifiers import ZonePath
+from repro.astrolabe.deployment import build_astrolabe
+from repro.multicast.messages import Envelope
+from repro.multicast.node import MulticastNode
+
+TRACE_KINDS = {
+    "deliver", "forward", "dup-dropped", "filtered", "repair-delivered",
+    "out-of-scope", "no-representative", "route-failed",
+}
+
+
+def make_deployment(num_nodes=60, seed=3, loss_rate=0.0, **mc_overrides):
+    multicast = MulticastConfig(**mc_overrides) if mc_overrides else MulticastConfig()
+    config = NewsWireConfig(branching_factor=6, multicast=multicast)
+    return build_astrolabe(
+        num_nodes,
+        config,
+        seed=seed,
+        loss_rate=loss_rate,
+        agent_class=MulticastNode,
+        trace_kinds=set(TRACE_KINDS),
+    )
+
+
+def envelope(key, sim, scope=ZonePath(), subject="s"):
+    return Envelope(
+        item_key=key,
+        payload={"data": key},
+        publisher="pub",
+        subject=subject,
+        created_at=sim.now,
+        scope=scope,
+    )
+
+
+class TestDissemination:
+    def test_root_multicast_reaches_everyone(self):
+        deployment = make_deployment()
+        deployment.run_rounds(2)
+        sender = deployment.agents[0]
+        sender.send_to_zone(ZonePath(), envelope("k1", deployment.sim))
+        deployment.sim.run_for(10)
+        assert deployment.trace.count("deliver") == 60
+
+    def test_subtree_multicast_confined(self):
+        deployment = make_deployment()
+        deployment.run_rounds(2)
+        sender = deployment.agents[0]
+        zone = ZonePath(sender.node_id.labels[:1])
+        members = sum(
+            1 for agent in deployment.agents if zone.contains(agent.node_id)
+        )
+        sender.send_to_zone(zone, envelope("k1", deployment.sim, scope=zone))
+        deployment.sim.run_for(10)
+        assert deployment.trace.count("deliver") == members
+
+    def test_send_to_own_leaf_only_delivers_locally(self):
+        deployment = make_deployment()
+        sender = deployment.agents[0]
+        # Scope to the leaf itself; otherwise epidemic repair would
+        # legitimately spread a root-scoped item to interested peers.
+        sender.send_to_zone(
+            sender.node_id,
+            envelope("k1", deployment.sim, scope=sender.node_id),
+        )
+        deployment.sim.run_for(5)
+        assert deployment.trace.count("deliver") == 1
+
+    def test_publish_into_foreign_zone_routes_through_reps(self):
+        deployment = make_deployment()
+        deployment.run_rounds(2)
+        sender = deployment.agents[0]
+        # A top-level zone the sender is NOT part of.
+        other = next(
+            ZonePath(agent.node_id.labels[:1])
+            for agent in deployment.agents
+            if agent.node_id.labels[0] != sender.node_id.labels[0]
+        )
+        members = sum(
+            1 for agent in deployment.agents if other.contains(agent.node_id)
+        )
+        sender.send_to_zone(other, envelope("k1", deployment.sim, scope=other))
+        deployment.sim.run_for(10)
+        assert deployment.trace.count("deliver") == members
+
+
+class TestDeduplication:
+    def test_same_item_twice_delivers_once(self):
+        deployment = make_deployment()
+        deployment.run_rounds(2)
+        sender = deployment.agents[0]
+        env = envelope("k1", deployment.sim)
+        sender.send_to_zone(ZonePath(), env)
+        sender.send_to_zone(ZonePath(), env)
+        deployment.sim.run_for(10)
+        assert deployment.trace.count("deliver") == 60
+
+    def test_redundant_reps_suppressed_by_item_id(self):
+        deployment = make_deployment(
+            representatives=3, send_to_representatives=2
+        )
+        deployment.run_rounds(2)
+        sender = deployment.agents[0]
+        sender.send_to_zone(ZonePath(), envelope("k1", deployment.sim))
+        deployment.sim.run_for(10)
+        assert deployment.trace.count("deliver") == 60
+        assert deployment.trace.count("dup-dropped") > 0
+
+
+class TestScope:
+    def test_out_of_scope_delivery_refused(self):
+        deployment = make_deployment()
+        agent = deployment.agents[0]
+        foreign_scope = ZonePath.parse("/elsewhere")
+        agent._deliver(envelope("k1", deployment.sim, scope=foreign_scope))
+        assert deployment.trace.count("deliver") == 0
+        assert deployment.trace.count("out-of-scope") == 1
+
+    def test_repair_never_leaks_scoped_items(self):
+        deployment = make_deployment(loss_rate=0.05, repair_interval=2.0)
+        deployment.run_rounds(2)
+        sender = deployment.agents[0]
+        zone = ZonePath(sender.node_id.labels[:1])
+        members = sum(
+            1 for agent in deployment.agents if zone.contains(agent.node_id)
+        )
+        sender.send_to_zone(zone, envelope("k1", deployment.sim, scope=zone))
+        deployment.sim.run_for(60)
+        assert deployment.trace.count("deliver") <= members
+
+
+class TestRepair:
+    def test_repair_recovers_lost_items(self):
+        deployment = make_deployment(
+            loss_rate=0.15, repair_interval=2.0, send_to_representatives=1
+        )
+        deployment.run_rounds(2)
+        sender = deployment.agents[0]
+        for index in range(5):
+            sender.send_to_zone(ZonePath(), envelope(f"k{index}", deployment.sim))
+        deployment.sim.run_for(80)
+        delivered = deployment.trace.count("deliver")
+        assert delivered >= 0.98 * 5 * 60
+        assert deployment.trace.count("repair-delivered") > 0
+
+    def test_no_repair_when_disabled(self):
+        deployment = make_deployment(loss_rate=0.15, repair_enabled=False)
+        deployment.run_rounds(2)
+        sender = deployment.agents[0]
+        sender.send_to_zone(ZonePath(), envelope("k1", deployment.sim))
+        deployment.sim.run_for(60)
+        assert deployment.trace.count("repair-delivered") == 0
+
+
+class TestCrash:
+    def test_crash_clears_forwarding_queues(self):
+        deployment = make_deployment()
+        agent = deployment.agents[0]
+        agent.queues.enqueue(deployment.agents[1].node_id, "m")
+        agent.crash()
+        assert agent.queues.backlog == 0
+
+    def test_delivery_continues_past_crashed_forwarders(self):
+        deployment = make_deployment(
+            representatives=3, send_to_representatives=2, repair_interval=2.0
+        )
+        deployment.run_rounds(2)
+        sender = deployment.agents[0]
+        victims = deployment.failures.crash_fraction(
+            deployment.sim.now + 0.01, deployment.agents[1:], 0.15
+        )
+        sender.send_to_zone(ZonePath(), envelope("k1", deployment.sim))
+        deployment.sim.run_for(60)
+        alive = 60 - len(victims)
+        assert deployment.trace.count("deliver") >= 0.95 * alive

@@ -1,0 +1,40 @@
+"""The shared zone-predicate compilation cache stays bounded."""
+
+from repro.core.config import NewsWireConfig
+from repro.astrolabe.deployment import build_astrolabe
+from repro.astrolabe.mib import Row
+from repro.multicast.messages import Envelope
+from repro.multicast.node import MulticastNode
+
+
+def test_predicate_cache_bounded():
+    deployment = build_astrolabe(
+        4, NewsWireConfig(branching_factor=4), agent_class=MulticastNode
+    )
+    node = deployment.agents[0]
+    row = Row({"x": 1}, (1.0, "w"), "w")
+    MulticastNode._predicate_cache.clear()
+    for index in range(300):
+        envelope = Envelope(
+            item_key=index, payload=None, publisher="p", subject="s",
+            zone_predicate=f"x = {index}",
+        )
+        node._zone_predicate_allows(row, envelope)
+    assert len(MulticastNode._predicate_cache) <= 257
+
+
+def test_predicate_cache_reuses_compilation():
+    deployment = build_astrolabe(
+        4, NewsWireConfig(branching_factor=4), agent_class=MulticastNode
+    )
+    node = deployment.agents[0]
+    row = Row({"x": 1}, (1.0, "w"), "w")
+    MulticastNode._predicate_cache.clear()
+    envelope = Envelope(
+        item_key=1, payload=None, publisher="p", subject="s",
+        zone_predicate="x = 1",
+    )
+    assert node._zone_predicate_allows(row, envelope)
+    first = MulticastNode._predicate_cache["x = 1"]
+    node._zone_predicate_allows(row, envelope)
+    assert MulticastNode._predicate_cache["x = 1"] is first

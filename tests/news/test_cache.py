@@ -1,0 +1,156 @@
+"""Tests for the end-system message cache (§9)."""
+
+import pytest
+
+from repro.core.config import CacheConfig
+from repro.core.errors import CacheError
+from repro.core.identifiers import ItemId
+from repro.news.cache import MessageCache
+from repro.news.item import NewsItem
+
+
+def item(serial: int, revision: int = 0, publisher: str = "p") -> NewsItem:
+    return NewsItem(
+        ItemId(publisher, serial, revision),
+        subject="p/c",
+        headline=f"h{serial}.{revision}",
+        published_at=float(serial),
+    )
+
+
+class TestInsertion:
+    def test_insert_and_get(self):
+        cache = MessageCache()
+        one = item(1)
+        assert cache.insert(one, now=0.0)
+        assert cache.get(one.item_id) == one
+        assert one.item_id in cache
+        assert len(cache) == 1
+
+    def test_duplicate_rejected(self):
+        cache = MessageCache()
+        one = item(1)
+        cache.insert(one, 0.0)
+        assert not cache.insert(one, 1.0)
+        assert cache.stats.duplicates == 1
+
+    def test_newer_revision_fuses(self):
+        cache = MessageCache()
+        original = item(1, 0)
+        revised = item(1, 1)
+        cache.insert(original, 0.0)
+        assert cache.insert(revised, 1.0)
+        assert cache.stats.fused == 1
+        assert cache.latest(original.story_key) == revised
+        assert original.item_id not in cache
+        assert len(cache) == 1
+
+    def test_stale_revision_rejected(self):
+        cache = MessageCache()
+        cache.insert(item(1, 2), 0.0)
+        assert not cache.insert(item(1, 1), 1.0)
+        assert cache.stats.stale_revisions == 1
+
+    def test_fusion_disabled_keeps_replacing_behavior_off(self):
+        cache = MessageCache(CacheConfig(fuse_revisions=False))
+        cache.insert(item(1, 0), 0.0)
+        assert cache.insert(item(1, 1), 1.0)
+        # Without fusion the new revision replaces by story key anyway
+        # (one entry per story), but stats register no fuse.
+        assert cache.stats.fused == 0
+
+    def test_different_publishers_do_not_collide(self):
+        cache = MessageCache()
+        cache.insert(item(1, publisher="a"), 0.0)
+        cache.insert(item(1, publisher="b"), 0.0)
+        assert len(cache) == 2
+
+
+class TestEviction:
+    def test_capacity_evicts_oldest(self):
+        cache = MessageCache(CacheConfig(capacity=3))
+        for serial in range(1, 6):
+            cache.insert(item(serial), float(serial))
+        assert len(cache) == 3
+        assert cache.stats.evicted_capacity == 2
+        assert item(1).item_id not in cache
+        assert item(5).item_id in cache
+
+    def test_gc_by_age(self):
+        cache = MessageCache(CacheConfig(max_age=10.0))
+        cache.insert(item(1), now=0.0)
+        cache.insert(item(2), now=8.0)
+        dropped = cache.gc(now=15.0)
+        assert dropped == 1
+        assert cache.stats.evicted_age == 1
+        assert item(2).item_id in cache
+
+    def test_gc_noop_when_fresh(self):
+        cache = MessageCache(CacheConfig(max_age=100.0))
+        cache.insert(item(1), now=0.0)
+        assert cache.gc(now=5.0) == 0
+
+
+class TestQueries:
+    def test_items_ordered_by_receipt(self):
+        cache = MessageCache()
+        for serial in (3, 1, 2):
+            cache.insert(item(serial), float(serial))
+        assert [i.item_id.serial for i in cache.items()] == [3, 1, 2]
+
+    def test_recent_for_state_transfer(self):
+        cache = MessageCache()
+        for serial in range(1, 6):
+            cache.insert(item(serial), float(serial))
+        recent = cache.recent(2)
+        assert [i.item_id.serial for i in recent] == [4, 5]
+
+    def test_recent_zero(self):
+        cache = MessageCache()
+        cache.insert(item(1), 0.0)
+        assert cache.recent(0) == []
+
+    def test_recent_negative_raises(self):
+        with pytest.raises(CacheError):
+            MessageCache().recent(-1)
+
+    def test_has_story(self):
+        cache = MessageCache()
+        one = item(1)
+        cache.insert(one, 0.0)
+        assert cache.has_story(one.story_key)
+        assert not cache.has_story(("p", 99))
+
+    def test_latest_missing_is_none(self):
+        assert MessageCache().latest(("p", 1)) is None
+
+
+class TestCompactAggregation:
+    def _filled(self):
+        cache = MessageCache()
+        cache.insert(
+            NewsItem(ItemId("p", 1), "p/a", "routine-old", urgency=6,
+                     published_at=1.0), 1.0)
+        cache.insert(
+            NewsItem(ItemId("p", 2), "p/b", "flash", urgency=1,
+                     published_at=2.0), 2.0)
+        cache.insert(
+            NewsItem(ItemId("p", 3), "p/a", "routine-new", urgency=6,
+                     published_at=3.0), 3.0)
+        return cache
+
+    def test_front_page_ranks_urgency_then_recency(self):
+        page = self._filled().front_page()
+        assert [i.headline for i in page] == [
+            "flash", "routine-new", "routine-old"
+        ]
+
+    def test_front_page_bounded(self):
+        assert len(self._filled().front_page(2)) == 2
+
+    def test_front_page_negative_raises(self):
+        with pytest.raises(CacheError):
+            MessageCache().front_page(-1)
+
+    def test_subject_digest(self):
+        assert self._filled().subject_digest() == {"p/a": 2, "p/b": 1}

@@ -1,0 +1,83 @@
+"""Tests for the NewsWire system builder and its handles."""
+
+import pytest
+
+from repro.core.config import NewsWireConfig
+from repro.core.errors import CertificateError
+from repro.core.identifiers import ZonePath
+from repro.news.deployment import NEWSWIRE_TRACE_KINDS, build_newswire
+from repro.news.node import NewsWireNode
+from repro.pubsub.subscription import Subscription
+
+SUBJECT = "p/s"
+
+
+def build(**kwargs):
+    defaults = dict(
+        num_nodes=20,
+        config=NewsWireConfig(branching_factor=6),
+        publisher_names=("alpha", "beta"),
+        subscriptions_for=lambda i: (Subscription(SUBJECT),),
+        seed=51,
+    )
+    defaults.update(kwargs)
+    return build_newswire(**defaults)
+
+
+class TestBuilder:
+    def test_publishers_enrolled(self):
+        system = build()
+        assert set(system.publishers) == {"alpha", "beta"}
+        assert system.publisher("alpha").publisher_name == "alpha"
+
+    def test_publishers_are_first_nodes(self):
+        system = build()
+        assert system.publisher("alpha") is system.nodes[0]
+        assert system.publisher("beta") is system.nodes[1]
+
+    def test_subscribers_excludes_publishers(self):
+        system = build()
+        assert len(system.subscribers) == 18
+        assert system.publisher("alpha") not in system.subscribers
+
+    def test_more_publishers_than_nodes_truncates(self):
+        system = build(
+            num_nodes=2, publisher_names=("a", "b", "c"),
+        )
+        assert set(system.publishers) == {"a", "b"}
+
+    def test_every_node_is_newswire_node(self):
+        system = build()
+        assert all(isinstance(node, NewsWireNode) for node in system.nodes)
+
+    def test_trace_kinds_default(self):
+        system = build()
+        assert system.trace.kinds == NEWSWIRE_TRACE_KINDS
+        assert "auth-rejected" in NEWSWIRE_TRACE_KINDS
+
+    def test_run_for_advances_clock(self):
+        system = build()
+        system.run_for(5.0)
+        assert system.sim.now == 5.0
+
+    def test_grant_publisher_after_build(self):
+        system = build()
+        node = system.subscribers[0]
+        certificate = system.grant_publisher(node, "gamma", max_rate=3.0)
+        assert certificate.publisher == "gamma"
+        assert system.publisher("gamma") is node
+        item = node.publish_news(SUBJECT, "hello from gamma")
+        assert item.publisher == "gamma"
+
+    def test_scoped_grant_enforced(self):
+        system = build()
+        node = system.subscribers[0]
+        scope = ZonePath(node.node_id.labels[:1])
+        system.grant_publisher(node, "regional", scope=scope)
+        with pytest.raises(CertificateError):
+            node.publish_news(SUBJECT, "too wide")  # root target
+
+    def test_publisher_keys_registered(self):
+        system = build()
+        keychain = system.deployment.keychain
+        assert "alpha" in keychain and "beta" in keychain

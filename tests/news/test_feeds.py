@@ -1,0 +1,97 @@
+"""Tests for the RSS bootstrap agents (§10)."""
+
+import pytest
+
+from repro.core.config import NewsWireConfig
+from repro.core.errors import ConfigurationError
+from repro.news.deployment import build_newswire
+from repro.news.feeds import FeedAgent, FeedEntry, SyntheticFeed
+from repro.pubsub.subscription import Subscription
+
+SUBJECT = "slashdot/tech"
+
+
+def entries(count, spacing=10.0):
+    return [
+        FeedEntry(
+            available_at=index * spacing,
+            subject=SUBJECT,
+            headline=f"legacy {index}",
+        )
+        for index in range(count)
+    ]
+
+
+class TestSyntheticFeed:
+    def test_fetch_returns_available_entries(self):
+        feed = SyntheticFeed("slashdot", entries(5))
+        cursor, available = feed.fetch(now=25.0)
+        assert len(available) == 3  # t = 0, 10, 20
+        assert cursor == 3
+
+    def test_fetch_resumes_from_cursor(self):
+        feed = SyntheticFeed("slashdot", entries(5))
+        cursor, first = feed.fetch(now=15.0)
+        cursor, second = feed.fetch(now=45.0, after_index=cursor)
+        assert [e.headline for e in second] == ["legacy 2", "legacy 3", "legacy 4"]
+
+    def test_poll_counter(self):
+        feed = SyntheticFeed("slashdot", entries(1))
+        feed.fetch(0.0)
+        feed.fetch(0.0)
+        assert feed.polls == 2
+
+    def test_append_out_of_order_rejected(self):
+        feed = SyntheticFeed("slashdot", entries(2))
+        with pytest.raises(ConfigurationError):
+            feed.append(FeedEntry(available_at=5.0, subject=SUBJECT, headline="x"))
+
+
+class TestFeedAgent:
+    def _system(self):
+        return build_newswire(
+            40,
+            NewsWireConfig(branching_factor=6),
+            publisher_names=("slashdot",),
+            publisher_rate=50.0,
+            subscriptions_for=lambda index: (Subscription(SUBJECT),),
+            seed=12,
+        )
+
+    def test_bridges_feed_into_newswire(self):
+        system = self._system()
+        feed = SyntheticFeed("slashdot", entries(4, spacing=20.0))
+        agent = FeedAgent(
+            system.publisher("slashdot"), feed, poll_interval=15.0
+        )
+        agent.start()
+        system.run_for(120.0)
+        assert agent.published == 4
+        # Every subscriber's cache eventually holds all four stories.
+        node = system.subscribers[0]
+        assert len(node.cache) == 4
+
+    def test_no_duplicates_across_polls(self):
+        system = self._system()
+        feed = SyntheticFeed("slashdot", entries(2, spacing=5.0))
+        agent = FeedAgent(system.publisher("slashdot"), feed, poll_interval=10.0)
+        agent.start()
+        system.run_for(100.0)
+        assert agent.published == 2
+
+    def test_stop(self):
+        system = self._system()
+        feed = SyntheticFeed("slashdot", entries(10, spacing=30.0))
+        agent = FeedAgent(system.publisher("slashdot"), feed, poll_interval=10.0)
+        agent.start()
+        system.run_for(35.0)
+        agent.stop()
+        published = agent.published
+        system.run_for(200.0)
+        assert agent.published == published
+
+    def test_poll_interval_validation(self):
+        system = self._system()
+        feed = SyntheticFeed("slashdot")
+        with pytest.raises(ConfigurationError):
+            FeedAgent(system.publisher("slashdot"), feed, poll_interval=0.0)

@@ -1,0 +1,39 @@
+"""Unit tests for the publisher token bucket."""
+
+import pytest
+
+from repro.news.node import _TokenBucket
+
+
+class TestTokenBucket:
+    def test_burst_up_to_capacity(self):
+        bucket = _TokenBucket(rate=5.0, now=0.0)
+        taken = sum(1 for _ in range(10) if bucket.try_take(0.0))
+        assert taken == 5
+
+    def test_refills_at_rate(self):
+        bucket = _TokenBucket(rate=2.0, now=0.0)
+        for _ in range(2):
+            assert bucket.try_take(0.0)
+        assert not bucket.try_take(0.0)
+        assert bucket.try_take(0.5)   # one token back after 0.5 s at 2/s
+        assert not bucket.try_take(0.5)
+
+    def test_never_exceeds_capacity(self):
+        bucket = _TokenBucket(rate=3.0, now=0.0)
+        # A long idle period must not bank unlimited tokens.
+        taken = sum(1 for _ in range(10) if bucket.try_take(1000.0))
+        assert taken == 3
+
+    def test_sub_unit_rate_has_min_capacity_one(self):
+        bucket = _TokenBucket(rate=0.1, now=0.0)
+        assert bucket.try_take(0.0)
+        assert not bucket.try_take(0.0)
+        assert bucket.try_take(10.0)  # one token per 10 s
+
+    def test_fractional_accumulation(self):
+        bucket = _TokenBucket(rate=1.0, now=0.0)
+        assert bucket.try_take(0.0)
+        assert not bucket.try_take(0.4)
+        assert not bucket.try_take(0.8)
+        assert bucket.try_take(1.2)  # fractions accumulated across calls

@@ -1,0 +1,92 @@
+"""Tests for NITF serialization."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import PublishError
+from repro.core.identifiers import ItemId
+from repro.news.formats import from_nitf, to_nitf
+from repro.news.item import NewsItem
+
+TEXT = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc")), max_size=40
+)
+NAMES = st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=10)
+
+
+def sample_item(**overrides):
+    defaults = dict(
+        item_id=ItemId("reuters", 42, 1),
+        subject="reuters/world",
+        headline="Peace declared",
+        body="Everyone is friends now.",
+        publisher="reuters",
+        categories=("world", "politics"),
+        keywords=("peace",),
+        urgency=2,
+        published_at=123.5,
+        supersedes=ItemId("reuters", 42, 0),
+        signature="abc123",
+    )
+    defaults.update(overrides)
+    return NewsItem(**defaults)
+
+
+class TestRoundTrip:
+    def test_full_roundtrip(self):
+        item = sample_item()
+        assert from_nitf(to_nitf(item)) == item
+
+    def test_minimal_roundtrip(self):
+        item = NewsItem(ItemId("p", 1), "p/c", "h")
+        assert from_nitf(to_nitf(item)) == item
+
+    def test_document_is_nitf_shaped(self):
+        document = to_nitf(sample_item())
+        assert document.startswith("<nitf>")
+        assert "<docdata>" in document
+        assert "<hedline>" in document
+
+    def test_malformed_xml_rejected(self):
+        with pytest.raises(PublishError):
+            from_nitf("<nitf><broken")
+
+    def test_missing_docdata_rejected(self):
+        with pytest.raises(PublishError):
+            from_nitf("<nitf><head></head></nitf>")
+
+    def test_missing_doc_id_rejected(self):
+        with pytest.raises(PublishError):
+            from_nitf("<nitf><head><docdata></docdata></head></nitf>")
+
+    def test_publisher_with_colon_in_doc_id(self):
+        item = sample_item(
+            item_id=ItemId("weird:name", 7), publisher="weird:name",
+            supersedes=None, signature="",
+        )
+        assert from_nitf(to_nitf(item)).item_id == item.item_id
+
+    @given(
+        headline=TEXT,
+        body=TEXT,
+        publisher=NAMES,
+        serial=st.integers(min_value=1, max_value=10**6),
+        revision=st.integers(min_value=0, max_value=20),
+        urgency=st.integers(min_value=1, max_value=9),
+        categories=st.lists(NAMES, max_size=4).map(tuple),
+    )
+    @settings(max_examples=60)
+    def test_property_roundtrip(
+        self, headline, body, publisher, serial, revision, urgency, categories
+    ):
+        item = NewsItem(
+            item_id=ItemId(publisher, serial, revision),
+            subject=f"{publisher}/x",
+            headline=headline,
+            body=body,
+            publisher=publisher,
+            categories=categories,
+            urgency=urgency,
+            published_at=1.25,
+        )
+        assert from_nitf(to_nitf(item)) == item

@@ -1,0 +1,86 @@
+"""Tests for news items: metadata, revisions, signatures."""
+
+import pytest
+
+from repro.core.errors import PublishError
+from repro.core.identifiers import ItemId
+from repro.news.item import NewsItem
+
+
+def item(**overrides):
+    defaults = dict(
+        item_id=ItemId("slashdot", 1),
+        subject="slashdot/tech",
+        headline="Headline",
+        body="word " * 10,
+        publisher="slashdot",
+        categories=("tech",),
+        keywords=("ai",),
+        urgency=5,
+        published_at=10.0,
+    )
+    defaults.update(overrides)
+    return NewsItem(**defaults)
+
+
+class TestNewsItem:
+    def test_metadata_fields(self):
+        metadata = item().as_metadata()
+        assert metadata["subject"] == "slashdot/tech"
+        assert metadata["publisher"] == "slashdot"
+        assert metadata["urgency"] == 5
+        assert metadata["wordcount"] == 10
+        assert metadata["revision"] == 0
+
+    def test_urgency_bounds(self):
+        with pytest.raises(PublishError):
+            item(urgency=0)
+        with pytest.raises(PublishError):
+            item(urgency=10)
+
+    def test_story_key_constant_across_revisions(self):
+        original = item()
+        revised = original.revised(headline="Updated")
+        assert revised.story_key == original.story_key
+        assert revised.revision == 1
+        assert revised.supersedes == original.item_id
+
+    def test_revised_keeps_body_unless_changed(self):
+        original = item()
+        revised = original.revised(headline="New")
+        assert revised.body == original.body
+        assert revised.headline == "New"
+
+    def test_revision_chain(self):
+        original = item()
+        r1 = original.revised()
+        r2 = r1.revised()
+        assert r2.revision == 2
+        assert r2.supersedes == r1.item_id
+
+    def test_wire_size_scales_with_body(self):
+        small = item(body="short")
+        large = item(body="word " * 500)
+        assert large.wire_size() > small.wire_size()
+
+    def test_sign_and_verify(self):
+        secret = b"publisher-secret"
+        signed = item().signed(secret)
+        assert signed.verify_signature(secret)
+
+    def test_wrong_secret_fails(self):
+        signed = item().signed(b"right")
+        assert not signed.verify_signature(b"wrong")
+
+    def test_unsigned_fails_verification(self):
+        assert not item().verify_signature(b"any")
+
+    def test_tampered_content_fails(self):
+        import dataclasses
+        signed = item().signed(b"secret")
+        tampered = dataclasses.replace(signed, headline="FAKE")
+        assert not tampered.verify_signature(b"secret")
+
+    def test_revision_clears_signature(self):
+        signed = item().signed(b"secret")
+        assert signed.revised().signature == ""

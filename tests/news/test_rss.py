@@ -1,0 +1,115 @@
+"""Tests for RSS 2.0 channel serialization."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import PublishError
+from repro.news.feeds import FeedEntry
+from repro.news.rss import channel_to_rss, rss_to_entries
+
+TEXT = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc")), min_size=1,
+    max_size=30,
+).map(str.strip).filter(bool)
+
+
+def entry(**overrides):
+    defaults = dict(
+        available_at=12.5,
+        subject="slashdot/tech",
+        headline="A headline",
+        body="Body text.",
+        categories=("tech", "linux"),
+        urgency=3,
+    )
+    defaults.update(overrides)
+    return FeedEntry(**defaults)
+
+
+class TestRoundTrip:
+    def test_single_entry(self):
+        document = channel_to_rss("slashdot", [entry()])
+        assert rss_to_entries(document) == [entry()]
+
+    def test_multiple_entries_sorted_by_time(self):
+        entries = [entry(available_at=t, headline=f"h{t}") for t in (30.0, 10.0)]
+        parsed = rss_to_entries(channel_to_rss("x", entries))
+        assert [e.available_at for e in parsed] == [10.0, 30.0]
+
+    def test_document_is_rss_two(self):
+        document = channel_to_rss("slashdot", [entry()])
+        assert document.startswith("<rss ")
+        assert 'version="2.0"' in document
+        assert "<channel>" in document and "<pubDate>" in document
+
+    @given(
+        headline=TEXT,
+        # XML 1.0 cannot carry raw control characters; like any real
+        # RSS producer we only ship printable text.
+        body=st.text(
+            alphabet=st.characters(blacklist_categories=("Cs", "Cc")),
+            max_size=50,
+        ),
+        subject=TEXT,
+        urgency=st.integers(min_value=1, max_value=9),
+        time=st.floats(min_value=0, max_value=1e6, allow_nan=False),
+    )
+    @settings(max_examples=50)
+    def test_property_roundtrip(self, headline, body, subject, urgency, time):
+        original = FeedEntry(
+            available_at=time, subject=subject, headline=headline,
+            body=body, categories=(), urgency=urgency,
+        )
+        parsed = rss_to_entries(channel_to_rss("chan", [original]))
+        assert parsed == [original]
+
+
+class TestForeignFeeds:
+    def test_plain_blog_feed_gets_defaults(self):
+        document = (
+            "<rss version='2.0'><channel><title>someblog</title>"
+            "<item><title>Post</title><description>text</description>"
+            "</item></channel></rss>"
+        )
+        parsed = rss_to_entries(document)
+        assert parsed[0].subject == "someblog"  # channel title fallback
+        assert parsed[0].urgency == 5
+        assert parsed[0].available_at == 0.0
+
+    def test_bad_pubdate_tolerated(self):
+        document = (
+            "<rss version='2.0'><channel><title>b</title>"
+            "<item><title>t</title><pubDate>Tue, 5 Mar</pubDate></item>"
+            "</channel></rss>"
+        )
+        assert rss_to_entries(document)[0].available_at == 0.0
+
+    def test_untitled_item(self):
+        document = (
+            "<rss version='2.0'><channel><title>b</title>"
+            "<item></item></channel></rss>"
+        )
+        assert rss_to_entries(document)[0].headline == "(untitled)"
+
+    def test_malformed_rejected(self):
+        with pytest.raises(PublishError):
+            rss_to_entries("<rss><broken")
+
+    def test_missing_channel_rejected(self):
+        with pytest.raises(PublishError):
+            rss_to_entries("<rss version='2.0'></rss>")
+
+
+class TestBridgeIntegration:
+    def test_snapshot_feeds_the_bridge(self):
+        """A serialized snapshot parses into entries a FeedAgent-style
+        bridge can republish (the full §10 path at the wire level)."""
+        from repro.news.feeds import SyntheticFeed
+
+        feed = SyntheticFeed("slashdot", [entry(available_at=t)
+                                          for t in (1.0, 2.0, 3.0)])
+        _, available = feed.fetch(now=2.5)
+        document = channel_to_rss("slashdot", available)
+        parsed = rss_to_entries(document)
+        assert len(parsed) == 2
+        assert all(e.subject == "slashdot/tech" for e in parsed)

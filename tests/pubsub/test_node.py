@@ -1,0 +1,134 @@
+"""Tests for the pub/sub node: selective forwarding end to end."""
+
+import pytest
+
+from repro.core.config import BloomConfig, NewsWireConfig
+from repro.core.identifiers import ZonePath
+from repro.pubsub.engine import build_pubsub
+from repro.pubsub.schemes import BloomScheme, PublisherMaskScheme, categories_registry
+from repro.pubsub.subscription import Subscription
+
+SUBJECTS = ["tech", "sports", "politics", "science"]
+
+
+def build(num_nodes=80, seed=4, scheme=None, subjects=SUBJECTS, per_node=1):
+    def subscriptions_for(index):
+        return [Subscription(subjects[(index + k) % len(subjects)])
+                for k in range(per_node)]
+
+    return build_pubsub(
+        num_nodes,
+        NewsWireConfig(branching_factor=6),
+        scheme=scheme,
+        subscriptions_for=subscriptions_for,
+        seed=seed,
+    )
+
+
+class TestSelectiveForwarding:
+    def test_only_subscribers_deliver(self):
+        deployment = build()
+        deployment.run_rounds(2)
+        deployment.agents[0].publish("tech", {"h": 1}, publisher="p")
+        deployment.sim.run_for(10)
+        expected = sum(1 for i in range(80) if SUBJECTS[i % 4] == "tech")
+        assert deployment.trace.count("deliver") == expected
+        assert deployment.trace.count("rejected") == 0
+
+    def test_unsubscribed_subject_goes_nowhere(self):
+        deployment = build()
+        deployment.run_rounds(2)
+        deployment.agents[0].publish("nobody-cares", {"h": 1}, publisher="p")
+        deployment.sim.run_for(10)
+        assert deployment.trace.count("deliver") == 0
+
+    def test_filtering_saves_forwards(self):
+        deployment = build()
+        deployment.run_rounds(2)
+        deployment.agents[0].publish("tech", {"h": 1}, publisher="p")
+        deployment.sim.run_for(10)
+        assert deployment.trace.count("filtered") > 0
+
+    def test_subscribe_after_build_takes_effect(self):
+        deployment = build()
+        deployment.run_rounds(2)
+        node = deployment.agents[-1]
+        node.subscribe(Subscription("fresh-subject"))
+        deployment.run_rounds(12)  # bit must reach forwarders
+        deployment.agents[0].publish("fresh-subject", {"h": 1}, publisher="p")
+        deployment.sim.run_for(10)
+        delivered_nodes = [
+            e["node"] for e in deployment.trace.events("deliver")
+        ]
+        assert str(node.node_id) in delivered_nodes
+
+    def test_unsubscribe_stops_local_acceptance(self):
+        deployment = build()
+        node = deployment.agents[0]
+        sub = node.subscriptions[0]
+        node.unsubscribe(sub)
+        assert sub not in node.subscriptions
+
+    def test_duplicate_subscribe_is_noop(self):
+        deployment = build()
+        node = deployment.agents[0]
+        count = len(node.subscriptions)
+        node.subscribe(node.subscriptions[0])
+        assert len(node.subscriptions) == count
+
+
+class TestPredicates:
+    def test_predicate_final_filter(self):
+        def subscriptions_for(index):
+            if index % 2 == 0:
+                return [Subscription("tech", "urgency <= 3")]
+            return [Subscription("tech")]
+
+        deployment = build_pubsub(
+            40,
+            NewsWireConfig(branching_factor=6),
+            subscriptions_for=subscriptions_for,
+            seed=9,
+        )
+        deployment.run_rounds(2)
+        deployment.agents[1].publish(
+            "tech", {"h": 1}, publisher="p", urgency=7
+        )
+        deployment.sim.run_for(10)
+        # Only the odd-index (unpredicated) subscribers accept urgency 7.
+        assert deployment.trace.count("deliver") == 20
+
+
+class TestMaskScheme:
+    def test_mask_scheme_end_to_end(self):
+        registries = categories_registry({"slashdot": ["tech", "games"]})
+        scheme = PublisherMaskScheme(registries)
+        subjects = ["slashdot/tech", "slashdot/games"]
+        deployment = build(
+            num_nodes=40, scheme=scheme, subjects=subjects, seed=6
+        )
+        deployment.run_rounds(2)
+        deployment.agents[0].publish(
+            "slashdot/tech", {"h": 1}, publisher="slashdot"
+        )
+        deployment.sim.run_for(10)
+        expected = sum(1 for i in range(40) if subjects[i % 2] == "slashdot/tech")
+        assert deployment.trace.count("deliver") == expected
+        assert deployment.trace.count("rejected") == 0
+
+
+class TestPublisherAnnouncement:
+    def test_publishers_aggregate_to_root(self):
+        deployment = build()
+        deployment.agents[7].announce_publisher("slashdot")
+        deployment.run_rounds(10)
+        observer = deployment.agents[0]
+        publishers = observer.root_aggregate("publishers")
+        assert publishers == ("slashdot",)
+
+    def test_wants_repair_follows_subjects(self):
+        deployment = build()
+        node = deployment.agents[0]
+        subject = node.subscriptions[0].subject
+        assert node.wants_repair(subject, ())
+        assert not node.wants_repair("unrelated", ())

@@ -1,0 +1,112 @@
+"""Tests for hierarchical subjects and wildcard subscriptions."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import BloomConfig, NewsWireConfig
+from repro.pubsub.engine import build_pubsub
+from repro.pubsub.schemes import PrefixBloomScheme
+from repro.pubsub.subscription import Subscription
+
+SEGMENTS = st.lists(
+    st.text(alphabet="abcdef", min_size=1, max_size=4), min_size=1, max_size=4
+)
+
+
+class TestWildcardSubscription:
+    def test_exact_still_exact(self):
+        sub = Subscription("a/b")
+        assert sub.matches_subject("a/b")
+        assert not sub.matches_subject("a/b/c")
+
+    def test_wildcard_matches_subtree(self):
+        sub = Subscription("reuters/sports/*")
+        assert sub.matches_subject("reuters/sports/football")
+        assert sub.matches_subject("reuters/sports")
+        assert sub.matches_subject("reuters/sports/f1/monaco")
+        assert not sub.matches_subject("reuters/world")
+        assert not sub.matches_subject("reuters/sportsball")
+
+    def test_is_wildcard_flag(self):
+        assert Subscription("a/*").is_wildcard
+        assert not Subscription("a/b").is_wildcard
+
+
+class TestPrefixKeys:
+    def test_keys_of_deep_subject(self):
+        keys = PrefixBloomScheme.prefix_keys("a/b/c")
+        assert keys == ("a/b/c", "a/*", "a/b/*", "a/b/c/*")
+
+    def test_keys_of_flat_subject(self):
+        assert PrefixBloomScheme.prefix_keys("solo") == ("solo", "solo/*")
+
+
+class TestSchemeSoundness:
+    def setup_method(self):
+        self.scheme = PrefixBloomScheme(BloomConfig(num_bits=2048, num_hashes=2))
+
+    def test_exact_subscription_matches(self):
+        attrs = self.scheme.leaf_attributes([Subscription("a/b/c")])
+        assert self.scheme.zone_may_match(attrs, self.scheme.hints_for("a/b/c", "p"))
+
+    def test_wildcard_subscription_matches_descendants(self):
+        attrs = self.scheme.leaf_attributes([Subscription("a/b/*")])
+        assert self.scheme.zone_may_match(
+            attrs, self.scheme.hints_for("a/b/c", "p")
+        )
+        assert self.scheme.zone_may_match(
+            attrs, self.scheme.hints_for("a/b/c/d", "p")
+        )
+
+    def test_unrelated_subject_filtered(self):
+        attrs = self.scheme.leaf_attributes([Subscription("a/b/*")])
+        assert not self.scheme.zone_may_match(
+            attrs, self.scheme.hints_for("a/x/c", "p")
+        )
+
+    @given(SEGMENTS, SEGMENTS)
+    @settings(max_examples=60)
+    def test_property_no_false_negatives(self, sub_parts, item_parts):
+        """Whenever the leaf would match, the zone test must pass."""
+        subject = "/".join(item_parts)
+        for wildcard in (False, True):
+            sub_subject = "/".join(sub_parts) + ("/*" if wildcard else "")
+            subscription = Subscription(sub_subject)
+            attrs = self.scheme.leaf_attributes([subscription])
+            hints = self.scheme.hints_for(subject, "p")
+            if subscription.matches_subject(subject):
+                assert self.scheme.zone_may_match(attrs, hints)
+
+
+class TestEndToEnd:
+    def test_wildcard_subscribers_receive_subtree(self):
+        subjects = [
+            "reuters/sports/football",
+            "reuters/sports/f1",
+            "reuters/world/europe",
+        ]
+
+        def subscriptions_for(index):
+            if index % 3 == 0:
+                return (Subscription("reuters/sports/*"),)
+            if index % 3 == 1:
+                return (Subscription("reuters/sports/f1"),)
+            return (Subscription("reuters/world/*"),)
+
+        deployment = build_pubsub(
+            60,
+            NewsWireConfig(branching_factor=8),
+            scheme=PrefixBloomScheme(BloomConfig(num_bits=2048, num_hashes=1)),
+            subscriptions_for=subscriptions_for,
+            seed=17,
+        )
+        deployment.run_rounds(2)
+        publisher = deployment.agents[0]
+        publisher.publish(subjects[1], {"h": 1}, publisher="reuters")  # f1
+        deployment.sim.run_for(10)
+        # f1 goes to wildcard-sports (20) and exact-f1 (20) subscribers.
+        assert deployment.trace.count("deliver") == 40
+
+        publisher.publish(subjects[2], {"h": 2}, publisher="reuters")  # europe
+        deployment.sim.run_for(10)
+        assert deployment.trace.count("deliver") == 60  # +20 world/*

@@ -1,0 +1,71 @@
+"""Unsubscription: filter bits must eventually clear from the tree.
+
+The paper only discusses adding subscriptions; removal is the implied
+dual — when the last subscriber of a subject in a zone leaves, the
+zone's aggregated filter must stop attracting that subject's traffic
+(after normal gossip propagation).
+"""
+
+from repro.core.config import NewsWireConfig
+from repro.pubsub.engine import build_pubsub
+from repro.pubsub.subscription import Subscription
+
+COMMON = "news/common"
+RARE = "news/rare"
+
+
+def build(seed=61):
+    def subscriptions_for(index):
+        if index == 37:
+            return (Subscription(COMMON), Subscription(RARE))
+        return (Subscription(COMMON),)
+
+    return build_pubsub(
+        60,
+        NewsWireConfig(branching_factor=6),
+        subscriptions_for=subscriptions_for,
+        seed=seed,
+    )
+
+
+class TestUnsubscription:
+    def test_rare_subject_flows_before_unsubscribe(self):
+        deployment = build()
+        deployment.run_rounds(2)
+        deployment.agents[0].publish(RARE, {"h": 1}, publisher="p")
+        deployment.sim.run_for(10)
+        assert deployment.trace.count("deliver") == 1
+
+    def test_filter_bits_clear_after_unsubscribe(self):
+        deployment = build()
+        deployment.run_rounds(2)
+        subscriber = deployment.agents[37]
+        rare_sub = next(
+            s for s in subscriber.subscriptions if s.subject == RARE
+        )
+        subscriber.unsubscribe(rare_sub)
+        deployment.run_rounds(10)  # let the cleared bits propagate up
+
+        # The root filter no longer advertises the rare subject...
+        observer = deployment.agents[0]
+        hints = observer.scheme.hints_for(RARE, "p")
+        subs = observer.evaluate_zone(observer.zones[0]).get("subs")
+        assert isinstance(subs, int)
+        assert not all((subs >> position) & 1 for position in hints)
+
+        # ...and a publish on it is filtered at the first hop.
+        marker = deployment.trace.count("deliver")
+        observer.publish(RARE, {"h": 2}, publisher="p")
+        deployment.sim.run_for(10)
+        assert deployment.trace.count("deliver") == marker
+
+    def test_shared_subject_survives_one_unsubscriber(self):
+        deployment = build()
+        deployment.run_rounds(2)
+        subscriber = deployment.agents[10]
+        subscriber.unsubscribe(subscriber.subscriptions[0])  # COMMON
+        deployment.run_rounds(8)
+        deployment.agents[0].publish(COMMON, {"h": 1}, publisher="p")
+        deployment.sim.run_for(10)
+        # Everyone else still gets it (59 subscribers remain).
+        assert deployment.trace.count("deliver") == 59

@@ -1,0 +1,121 @@
+"""Tests for the failure injector."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.identifiers import ZonePath
+from repro.sim.engine import Simulation
+from repro.sim.failures import FailureInjector, FloodMessage
+from repro.sim.network import FixedLatency, Network
+from repro.sim.node import Process
+
+
+def zp(text):
+    return ZonePath.parse(text)
+
+
+class Sink(Process):
+    def __init__(self, *args):
+        super().__init__(*args)
+        self.floods = 0
+
+    def on_message(self, sender, message):
+        if isinstance(message, FloodMessage):
+            self.floods += 1
+
+
+@pytest.fixture
+def rig():
+    sim = Simulation(seed=9)
+    network = Network(sim, latency=FixedLatency(0.01))
+    injector = FailureInjector(sim, network)
+    nodes = [Sink(zp(f"/z/n{i}"), sim, network) for i in range(10)]
+    return sim, network, injector, nodes
+
+
+class TestCrashes:
+    def test_crash_at(self, rig):
+        sim, network, injector, nodes = rig
+        injector.crash_at(5.0, nodes[0])
+        sim.run_until(4.9)
+        assert not nodes[0].crashed
+        sim.run_until(5.1)
+        assert nodes[0].crashed
+        assert injector.stats.crashes == 1
+
+    def test_crash_for_recovers(self, rig):
+        sim, network, injector, nodes = rig
+        injector.crash_for(1.0, nodes[0], downtime=2.0)
+        sim.run_until(2.0)
+        assert nodes[0].crashed
+        sim.run_until(3.5)
+        assert not nodes[0].crashed
+        assert injector.stats.recoveries == 1
+
+    def test_crash_fraction_count(self, rig):
+        sim, network, injector, nodes = rig
+        victims = injector.crash_fraction(1.0, nodes, 0.3)
+        assert len(victims) == 3
+        sim.run_until(2.0)
+        assert sum(1 for node in nodes if node.crashed) == 3
+
+    def test_crash_fraction_validation(self, rig):
+        sim, network, injector, nodes = rig
+        with pytest.raises(ConfigurationError):
+            injector.crash_fraction(1.0, nodes, 1.5)
+
+    def test_crash_fraction_deterministic(self):
+        def victims_for(seed):
+            sim = Simulation(seed=seed)
+            network = Network(sim)
+            injector = FailureInjector(sim, network)
+            nodes = [Sink(zp(f"/z/n{i}"), sim, network) for i in range(10)]
+            return [str(v.node_id) for v in injector.crash_fraction(1.0, nodes, 0.5)]
+
+        assert victims_for(4) == victims_for(4)
+
+    def test_churn_keeps_crashing_and_recovering(self, rig):
+        sim, network, injector, nodes = rig
+        injector.churn(nodes, rate=2.0, downtime=1.0)
+        sim.run_until(30.0)
+        assert injector.stats.crashes > 10
+        assert injector.stats.recoveries > 10
+
+    def test_churn_rate_validation(self, rig):
+        sim, network, injector, nodes = rig
+        with pytest.raises(ConfigurationError):
+            injector.churn(nodes, rate=0.0, downtime=1.0)
+
+
+class TestPartitionsAndFloods:
+    def test_partition_for_heals(self, rig):
+        sim, network, injector, nodes = rig
+        groups = [[nodes[0].node_id], [nodes[1].node_id]]
+        injector.partition_for(1.0, groups, duration=2.0)
+        sim.run_until(1.5)
+        nodes[0].send(nodes[1].node_id, "during")
+        sim.run_until(3.5)
+        nodes[0].send(nodes[1].node_id, "after")
+        sim.run()
+        assert network.stats.dropped_partition == 1
+        assert injector.stats.partitions == 1
+
+    def test_flood_delivers_junk(self, rig):
+        sim, network, injector, nodes = rig
+        injector.flood(nodes[0].node_id, rate=100.0, start=0.0, duration=1.0)
+        sim.run_until(2.0)
+        assert nodes[0].floods > 50
+        assert injector.stats.flood_messages == nodes[0].floods
+
+    def test_flood_rate_validation(self, rig):
+        sim, network, injector, nodes = rig
+        with pytest.raises(ConfigurationError):
+            injector.flood(nodes[0].node_id, rate=0.0, start=0.0, duration=1.0)
+
+    def test_flood_stops_after_duration(self, rig):
+        sim, network, injector, nodes = rig
+        injector.flood(nodes[0].node_id, rate=100.0, start=0.0, duration=1.0)
+        sim.run_until(1.5)
+        count = nodes[0].floods
+        sim.run_until(5.0)
+        assert nodes[0].floods == count

@@ -1,0 +1,88 @@
+"""Tests for trace logging and RNG registry."""
+
+from repro.sim.engine import Simulation
+from repro.sim.rng import RngRegistry, derive_seed
+from repro.sim.trace import TraceLog
+
+
+class TestTraceLog:
+    def test_record_and_read(self):
+        sim = Simulation()
+        trace = TraceLog(sim)
+        trace.record("deliver", node="/a", latency=1.5)
+        event = next(trace.events("deliver"))
+        assert event.time == 0.0
+        assert event["node"] == "/a"
+        assert event["latency"] == 1.5
+
+    def test_timestamps_follow_clock(self):
+        sim = Simulation()
+        trace = TraceLog(sim)
+        sim.call_at(3.0, trace.record, "tick")
+        sim.run()
+        assert next(trace.events("tick")).time == 3.0
+
+    def test_kind_filter_still_counts(self):
+        sim = Simulation()
+        trace = TraceLog(sim, kinds={"keep"})
+        trace.record("keep", x=1)
+        trace.record("drop", x=2)
+        assert len(trace) == 1
+        assert trace.count("drop") == 1
+        assert list(trace.events("drop")) == []
+
+    def test_empty_kinds_records_nothing_counts_all(self):
+        sim = Simulation()
+        trace = TraceLog(sim, kinds=set())
+        trace.record("anything")
+        assert len(trace) == 0
+        assert trace.count("anything") == 1
+
+    def test_get_with_default(self):
+        sim = Simulation()
+        trace = TraceLog(sim)
+        trace.record("e", a=1)
+        event = next(trace.events("e"))
+        assert event.get("missing", 42) == 42
+        assert event.as_dict() == {"a": 1}
+
+    def test_getitem_missing_raises(self):
+        import pytest
+        sim = Simulation()
+        trace = TraceLog(sim)
+        trace.record("e", a=1)
+        with pytest.raises(KeyError):
+            next(trace.events("e"))["b"]
+
+    def test_clear(self):
+        sim = Simulation()
+        trace = TraceLog(sim)
+        trace.record("e")
+        trace.clear()
+        assert len(trace) == 0
+        assert trace.count("e") == 0
+
+    def test_events_without_kind_returns_all(self):
+        sim = Simulation()
+        trace = TraceLog(sim)
+        trace.record("a")
+        trace.record("b")
+        assert len(list(trace.events())) == 2
+
+
+class TestRng:
+    def test_derive_seed_stable(self):
+        assert derive_seed(1, "x") == derive_seed(1, "x")
+
+    def test_derive_seed_varies(self):
+        assert derive_seed(1, "x") != derive_seed(1, "y")
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_stream_cached(self):
+        registry = RngRegistry(0)
+        assert registry.stream("a") is registry.stream("a")
+
+    def test_fork_independent(self):
+        registry = RngRegistry(0)
+        fork = registry.fork("child")
+        assert registry.stream("a").random() != fork.stream("a").random()

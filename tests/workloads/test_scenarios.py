@@ -1,0 +1,41 @@
+"""Tests for canned scenarios."""
+
+from repro.workloads.scenarios import (
+    breaking_news_scenario,
+    subjects_for,
+    tech_news_scenario,
+    wire_news_scenario,
+)
+
+
+class TestSubjectsFor:
+    def test_cartesian_product(self):
+        subjects = subjects_for(("a", "b"), ("x", "y"))
+        assert subjects == ["a/x", "a/y", "b/x", "b/y"]
+
+
+class TestScenarios:
+    def test_tech_news_shape(self):
+        scenario = tech_news_scenario(seed=1)
+        assert scenario.name == "tech-news"
+        assert scenario.publishers == ("slashdot",)
+        assert scenario.trace
+        assert all(p.subject in scenario.subjects for p in scenario.trace)
+
+    def test_wire_news_has_multiple_publishers(self):
+        scenario = wire_news_scenario(seed=1)
+        assert len(scenario.publishers) == 3
+        assert scenario.trace
+
+    def test_breaking_news_has_spike(self):
+        scenario = breaking_news_scenario(duration=3600.0, seed=1)
+        spike = [p for p in scenario.trace if p.urgency == 1]
+        assert spike
+
+    def test_deterministic(self):
+        assert tech_news_scenario(seed=3).trace == tech_news_scenario(seed=3).trace
+
+    def test_interests_cover_scenario_subjects(self):
+        scenario = tech_news_scenario(seed=1)
+        subs = scenario.interests.subscriptions_for(0)
+        assert all(s.subject in scenario.subjects for s in subs)

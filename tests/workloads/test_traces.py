@@ -1,0 +1,117 @@
+"""Tests for publication trace generators."""
+
+import random
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.workloads.traces import (
+    DAY,
+    diurnal_trace,
+    flash_crowd_trace,
+    poisson_trace,
+)
+
+SUBJECTS = ["a/x", "a/y", "a/z"]
+
+
+class TestPoisson:
+    def test_rate_approximately_honoured(self):
+        trace = poisson_trace(60.0, 3600.0 * 10, SUBJECTS, random.Random(1))
+        assert 500 < len(trace) < 700  # 60/h over 10h
+
+    def test_sorted_and_bounded(self):
+        trace = poisson_trace(60.0, 3600.0, SUBJECTS, random.Random(1))
+        times = [p.time for p in trace]
+        assert times == sorted(times)
+        assert all(0 <= t < 3600.0 for t in times)
+
+    def test_subjects_drawn_from_pool(self):
+        trace = poisson_trace(60.0, 3600.0, SUBJECTS, random.Random(1))
+        assert {p.subject for p in trace} <= set(SUBJECTS)
+
+    def test_weights_bias_selection(self):
+        trace = poisson_trace(
+            600.0, 3600.0, SUBJECTS, random.Random(1),
+            subject_weights=[100.0, 1.0, 1.0],
+        )
+        first = sum(1 for p in trace if p.subject == "a/x")
+        assert first > 0.8 * len(trace)
+
+    def test_deterministic(self):
+        a = poisson_trace(60.0, 3600.0, SUBJECTS, random.Random(5))
+        b = poisson_trace(60.0, 3600.0, SUBJECTS, random.Random(5))
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            poisson_trace(0.0, 10.0, SUBJECTS, random.Random(1))
+        with pytest.raises(ConfigurationError):
+            poisson_trace(1.0, 10.0, [], random.Random(1))
+        with pytest.raises(ConfigurationError):
+            # High rate so at least one pick happens (the mismatch is
+            # detected at subject-selection time).
+            poisson_trace(36000.0, 100.0, SUBJECTS, random.Random(1),
+                          subject_weights=[1.0])
+
+    def test_body_words_in_range(self):
+        trace = poisson_trace(600.0, 3600.0, SUBJECTS, random.Random(1))
+        assert all(50 <= p.body_words <= 1500 for p in trace)
+
+
+class TestDiurnal:
+    def test_daily_volume(self):
+        trace = diurnal_trace(25.0, 20.0, SUBJECTS, random.Random(1))
+        per_day = len(trace) / 20.0
+        assert 18 < per_day < 32
+
+    def test_day_night_asymmetry(self):
+        trace = diurnal_trace(200.0, 10.0, SUBJECTS, random.Random(1))
+        def hour_of(t):
+            return (t % DAY) / 3600.0
+        daytime = sum(1 for p in trace if 9 <= hour_of(p.time) <= 15)
+        night = sum(1 for p in trace if hour_of(p.time) <= 3 or hour_of(p.time) >= 21)
+        assert daytime > 2 * night
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            diurnal_trace(0.0, 1.0, SUBJECTS, random.Random(1))
+
+
+class TestFlashCrowd:
+    def test_spike_concentrates_events(self):
+        trace = flash_crowd_trace(
+            base_rate_per_hour=10.0,
+            duration=3600.0,
+            subjects=SUBJECTS,
+            rng=random.Random(1),
+            spike_at=1000.0,
+            spike_duration=600.0,
+            spike_factor=20.0,
+        )
+        in_spike = sum(1 for p in trace if 1000.0 <= p.time <= 1600.0)
+        outside = len(trace) - in_spike
+        assert in_spike > outside
+
+    def test_spike_items_are_urgent(self):
+        trace = flash_crowd_trace(
+            base_rate_per_hour=10.0,
+            duration=3600.0,
+            subjects=SUBJECTS,
+            rng=random.Random(1),
+            spike_at=1000.0,
+            spike_duration=600.0,
+            spike_factor=20.0,
+            breaking_subject="a/x",
+        )
+        spike_items = [
+            p for p in trace
+            if 1000.0 <= p.time <= 1600.0 and p.subject == "a/x"
+        ]
+        assert spike_items and all(p.urgency == 1 for p in spike_items)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            flash_crowd_trace(1.0, 10.0, SUBJECTS, random.Random(1),
+                              spike_at=1.0, spike_duration=1.0,
+                              spike_factor=0.5)
