@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments experiments-quick examples clean
+.PHONY: install test test-fast test-quick bench bench-pytest experiments experiments-quick examples clean
 
 install:
 	pip install -e '.[test]'
@@ -13,7 +13,13 @@ test:
 test-fast:
 	$(PYTHON) -m pytest tests/ -x -q --ignore=tests/integration
 
+test-quick:
+	$(PYTHON) -m pytest tests/ -q -m "not slow"
+
 bench:
+	PYTHONPATH=src $(PYTHON) -m repro.experiments.bench_substrate -o BENCH_substrate.json
+
+bench-pytest:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 experiments:

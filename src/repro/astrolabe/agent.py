@@ -36,7 +36,7 @@ from repro.sim.engine import Simulation
 from repro.sim.network import Network
 from repro.sim.node import Process
 from repro.sim.trace import TraceLog
-from repro.astrolabe.aql import AqlProgram
+from repro.astrolabe.aql import compile_program
 from repro.astrolabe.certificates import AggregationCertificate, KeyChain
 from repro.astrolabe.messages import (
     CertDelta,
@@ -89,7 +89,17 @@ class AstrolabeAgent(Process):
             "leaf": True,
         }
         self._certs: VersionedStore[str, AggregationCertificate] = VersionedStore()
-        self._compiled: Dict[str, AqlProgram] = {}
+        #: Sorted (name, cert) view, rebuilt lazily behind a dirty flag
+        #: instead of re-sorting on every evaluation of every zone.
+        self._certs_sorted: Optional[list[tuple[str, AggregationCertificate]]] = None
+        #: Bumped on every accepted install; part of the aggregation
+        #: cache key so new mobile code invalidates cached results.
+        self._certs_token = 0
+        #: Per-zone aggregation results keyed on (table content, certs)
+        #: tokens — unchanged zones skip AQL re-evaluation entirely.
+        self._agg_cache: Dict[
+            ZonePath, tuple[tuple[int, int], Dict[str, AttributeValue]]
+        ] = {}
         self._listeners: list[TableListener] = []
         self._rng = sim.rng("gossip")
         self._gossip_timer = None
@@ -204,7 +214,7 @@ class AstrolabeAgent(Process):
         """Verify and install mobile code; newest ``issued_at`` wins."""
         certificate.verify(self.keychain)
         try:
-            AqlProgram(certificate.aql_source)
+            compile_program(certificate.aql_source)
         except Exception as exc:
             raise CertificateError(
                 f"aggregation certificate {certificate.name!r} does not parse: {exc}"
@@ -212,20 +222,19 @@ class AstrolabeAgent(Process):
         version: Version = (certificate.issued_at, certificate.certificate.issuer)
         installed = self._certs.put(certificate.name, certificate, version)
         if installed:
-            self._compiled.pop(certificate.name, None)
+            self._certs_sorted = None
+            self._certs_token += 1
             if not self.crashed:
                 self._recompute_aggregates()
         return installed
 
     def aggregation_certificates(self) -> list[AggregationCertificate]:
-        return [cert for _, cert in sorted(self._certs.items())]
+        return [cert for _, cert in self._sorted_certs()]
 
-    def _program_for(self, certificate: AggregationCertificate) -> AqlProgram:
-        program = self._compiled.get(certificate.name)
-        if program is None:
-            program = AqlProgram(certificate.aql_source)
-            self._compiled[certificate.name] = program
-        return program
+    def _sorted_certs(self) -> list[tuple[str, AggregationCertificate]]:
+        if self._certs_sorted is None:
+            self._certs_sorted = sorted(self._certs.items(), key=lambda kv: kv[0])
+        return self._certs_sorted
 
     def evaluate_zone(self, zone: ZonePath) -> Dict[str, AttributeValue]:
         """Evaluate all in-scope aggregation functions over ``zone``'s table.
@@ -234,20 +243,32 @@ class AstrolabeAgent(Process):
         its parent table, and the public query interface ("the root
         zone will have all the information", §6) — call it with the
         root path to read global aggregates as this agent sees them.
+
+        Results are cached per zone, keyed on the table's content token
+        and the installed-certificate generation: aggregation is a pure
+        function of row *values* and programs, so when neither changed
+        since the last evaluation the cached map is returned (as a
+        fresh copy — callers may mutate it) and the AQL run is skipped.
+        Version-only row refreshes do not invalidate the cache.
         """
         table = self.zone_table(zone)
+        token = (table.content_token, self._certs_token)
+        cached = self._agg_cache.get(zone)
+        if cached is not None and cached[0] == token:
+            return dict(cached[1])
         rows = table.row_mappings()
         output: Dict[str, AttributeValue] = {}
-        for name, certificate in sorted(self._certs.items()):
+        for name, certificate in self._sorted_certs():
             if not certificate.scope.contains(zone):
                 continue
-            program = self._program_for(certificate)
+            program = compile_program(certificate.aql_source)
             result = program.evaluate(rows)
             for key, value in result.items():
                 if isinstance(value, (list, set)):
                     value = tuple(value)
                 output[key] = value
-        return output
+        self._agg_cache[zone] = (token, output)
+        return dict(output)
 
     def _recompute_aggregates(self) -> None:
         """Refresh the aggregate row of every zone on the root path.

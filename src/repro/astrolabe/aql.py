@@ -979,9 +979,33 @@ class AqlProgram:
         return f"AqlProgram({self.source!r})"
 
 
+#: Compiled programs, memoized by source text.  Certificates carry a
+#: handful of distinct programs but are re-installed at every agent on
+#: every epidemic hop, so sharing the compiled form across agents turns
+#: O(agents × certs) compilations into O(distinct sources).  Programs
+#: are immutable after construction, which makes sharing safe.
+_COMPILED: Dict[str, "AqlProgram"] = {}
+_COMPILED_LIMIT = 1024
+
+
+def compile_program(source: str) -> "AqlProgram":
+    """Parse + compile ``source``, memoized by exact source text.
+
+    Raises the same errors as ``AqlProgram(source)``; failures are
+    never cached.
+    """
+    program = _COMPILED.get(source)
+    if program is None:
+        if len(_COMPILED) >= _COMPILED_LIMIT:
+            _COMPILED.clear()  # adversarial cert floods cannot pin memory
+        program = AqlProgram(source)
+        _COMPILED[source] = program
+    return program
+
+
 def evaluate(source: str, rows: Sequence[RowMapping]) -> Dict[str, AqlValue]:
     """One-shot parse + evaluate (tests and interactive use)."""
-    return AqlProgram(source).evaluate(rows)
+    return compile_program(source).evaluate(rows)
 
 
 def compile_predicate(source: str) -> Callable[[RowMapping], bool]:

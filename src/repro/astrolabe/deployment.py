@@ -24,7 +24,7 @@ from repro.sim.failures import FailureInjector
 from repro.sim.network import LatencyModel, Network
 from repro.sim.trace import TraceLog
 from repro.astrolabe.agent import AstrolabeAgent
-from repro.astrolabe.aql import AqlProgram
+from repro.astrolabe.aql import compile_program
 from repro.astrolabe.certificates import AggregationCertificate, KeyChain
 from repro.astrolabe.mib import Row
 from repro.astrolabe.representatives import issue_core_certificate
@@ -223,7 +223,7 @@ def _preseed(
     # zones creates their depth-(d-1) parents, which the next pass
     # processes, until only the root remains.
     programs = [
-        (cert, AqlProgram(cert.aql_source))
+        (cert, compile_program(cert.aql_source))
         for cert in sorted(certificates, key=lambda c: c.name)
     ]
     depth = max(zone.depth for zone in god)

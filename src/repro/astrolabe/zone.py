@@ -33,6 +33,21 @@ class ZoneTable:
         self.path = path
         self.max_rows = max_rows
         self._store: VersionedStore[str, Row] = VersionedStore()
+        self._content = 0
+
+    @property
+    def content_token(self) -> int:
+        """Monotone counter of *value-visible* changes.
+
+        Bumped whenever a row's attribute mapping changes (or a row
+        appears/disappears) — but **not** for version-only refreshes,
+        which rewrite identical attributes with a fresh timestamp every
+        gossip round.  Aggregation results depend only on attribute
+        values, so a consumer that caches per-zone aggregates can key
+        them on this token and skip re-evaluating unchanged zones (see
+        ``AstrolabeAgent.evaluate_zone``).
+        """
+        return self._content
 
     # -- row access -----------------------------------------------------
 
@@ -47,12 +62,18 @@ class ZoneTable:
                 f"zone {self.path} is full ({self.max_rows} children); "
                 f"cannot admit {label!r}"
             )
-        return self._store.put(label, row, row.version)
+        current = self._store.entry(label)
+        installed = self._store.put(label, row, row.version)
+        if installed and (current is None or current.value.mapping != row.mapping):
+            self._content += 1
+        return installed
 
     def row(self, label: str) -> Optional[Row]:
         return self._store.get(label)
 
     def remove_row(self, label: str) -> None:
+        if label in self._store:
+            self._content += 1
         self._store.remove(label)
 
     def labels(self) -> tuple[str, ...]:
@@ -117,8 +138,11 @@ class ZoneTable:
                 continue  # too old to admit: would resurrect a reaped row
             if label not in self._store and len(self._store) >= self.max_rows:
                 continue  # zone full: refuse new members, keep existing fresh
+            current = self._store.entry(label)
             if self._store.put_entry(label, entry):
                 changed.append(label)
+                if current is None or current.value.mapping != entry.value.mapping:
+                    self._content += 1
         return changed
 
     def expire_older_than(self, cutoff_timestamp: float) -> list[str]:
@@ -127,7 +151,10 @@ class ZoneTable:
         This is how crashed members leave the zone ("node failure &
         automatic zone reconfiguration", §10).
         """
-        return self._store.expire((cutoff_timestamp, ""))
+        expired = self._store.expire((cutoff_timestamp, ""))
+        if expired:
+            self._content += 1
+        return expired
 
     def wire_size(self) -> int:
         return sum(row.wire_size() for _, row in self.rows())

@@ -1,7 +1,12 @@
 """Core building blocks: identifiers, filters, masks, configuration."""
 
 from repro.core.bitmask import CategoryMask, CategoryRegistry
-from repro.core.bloom import BloomFilter, CountingBloomFilter, bit_positions
+from repro.core.bloom import (
+    BloomFilter,
+    CountingBloomFilter,
+    bit_positions,
+    positions_mask,
+)
 from repro.core.config import (
     BloomConfig,
     CacheConfig,
@@ -58,4 +63,5 @@ __all__ = [
     "ZoneError",
     "ZonePath",
     "bit_positions",
+    "positions_mask",
 ]

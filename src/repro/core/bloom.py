@@ -49,6 +49,21 @@ def bit_positions(item: str, num_bits: int, num_hashes: int) -> tuple[int, ...]:
     return tuple((h1 + i * h2) % num_bits for i in range(num_hashes))
 
 
+def positions_mask(positions: Iterable[int]) -> int:
+    """Fold bit positions into a single integer mask.
+
+    The mask form is what the forwarding hot path wants: testing "are
+    all these positions set?" becomes one C-level ``bits & mask ==
+    mask`` instead of a Python-level loop of shifts (see
+    :meth:`BloomFilter.test_mask`).  Compute it once per item and reuse
+    it against every candidate child zone.
+    """
+    mask = 0
+    for position in positions:
+        mask |= 1 << position
+    return mask
+
+
 class BloomFilter:
     """A fixed-size Bloom filter backed by a Python ``int`` bitset.
 
@@ -103,12 +118,22 @@ class BloomFilter:
         return positions
 
     def set_positions(self, positions: Iterable[int]) -> None:
+        """Set all ``positions`` — atomically.
+
+        The whole batch is validated before any bit is touched (the
+        mask is accumulated first, OR-ed in last), so an out-of-range
+        position cannot leave the filter partially updated — the same
+        check-then-mutate discipline as ``CountingBloomFilter.remove``.
+        """
+        mask = 0
+        num_bits = self.num_bits
         for pos in positions:
-            if not 0 <= pos < self.num_bits:
+            if not 0 <= pos < num_bits:
                 raise ConfigurationError(
-                    f"bit position {pos} out of range for {self.num_bits}-bit filter"
+                    f"bit position {pos} out of range for {num_bits}-bit filter"
                 )
-            self._bits |= 1 << pos
+            mask |= 1 << pos
+        self._bits |= mask
 
     def clear(self) -> None:
         self._bits = 0
@@ -127,6 +152,17 @@ class BloomFilter:
             if not (self._bits >> pos) & 1:
                 return False
         return True
+
+    def test_mask(self, mask: int) -> bool:
+        """Mask-form membership test: ``mask & bits == mask``.
+
+        Equivalent to :meth:`test_positions` on the positions folded by
+        :func:`positions_mask`, but a single big-int operation.  The
+        forwarding path precomputes the mask once per item and calls
+        this per candidate zone.  No range validation — the caller
+        built the mask from validated positions.
+        """
+        return self._bits & mask == mask
 
     def test_bit(self, position: int) -> bool:
         if not 0 <= position < self.num_bits:

@@ -1,0 +1,270 @@
+"""Substrate perf harness — the four hot paths under every experiment.
+
+Every experiment (E1–E11) spends essentially all of its wall clock in
+four substrate operations: the DES event loop, anti-entropy
+digest/delta reconciliation, AQL zone aggregation, and Bloom-filter
+forwarding tests.  This module times realistic micro-workloads for each
+and emits ``BENCH_substrate.json`` — the repo's perf-trajectory record.
+
+Usage::
+
+    python -m repro.experiments.bench_substrate                 # print table
+    python -m repro.experiments.bench_substrate -o BENCH_substrate.json
+    make bench                                                  # the same
+
+When a recorded baseline exists (``benchmarks/BASELINE_substrate.json``,
+captured on the pre-optimisation tree with this same harness on the
+same machine class), the emitted JSON carries ``baseline``, ``current``
+and per-benchmark ``speedup`` sections, so the file itself documents
+the before/after trajectory.
+
+Each workload returns a deterministic *guard* value (a checksum of the
+work performed).  Guards are compared against the baseline's: a
+mismatch means an optimisation changed behaviour, not just speed, and
+the harness fails loudly rather than reporting a bogus speedup.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+from repro.core.bloom import BloomFilter
+from repro.core.config import BloomConfig, NewsWireConfig
+from repro.astrolabe.deployment import build_astrolabe
+from repro.gossip.antientropy import VersionedStore
+from repro.pubsub.schemes import BloomScheme
+from repro.sim.engine import Simulation
+
+#: Where ``make bench`` finds the pre-optimisation numbers (repo-relative).
+DEFAULT_BASELINE = Path("benchmarks") / "BASELINE_substrate.json"
+
+
+def _noop() -> None:
+    pass
+
+
+# ---------------------------------------------------------------------------
+# The four workloads
+# ---------------------------------------------------------------------------
+
+
+def bench_event_loop_churn(waves: int = 40, per_wave: int = 500) -> int:
+    """DES event loop with 50% cancelled events (timer churn).
+
+    Each wave schedules ``per_wave`` near-term events plus ``per_wave``
+    far-future timeouts, cancels every timeout (the repair/retry-timer
+    pattern), polls ``pending_events`` once (driver monitoring), and
+    advances time past the near events.  Cancelled far events are the
+    lazy-deletion garbage the engine must not let accumulate.
+    """
+    sim = Simulation(seed=1)
+    guard = 0
+    for _ in range(waves):
+        start = sim.now
+        timeouts = [sim.call_after(10_000.0, _noop) for _ in range(per_wave)]
+        for index in range(per_wave):
+            sim.call_after(0.001 * (index + 1), _noop)
+        for handle in timeouts:
+            handle.cancel()
+        guard += sim.pending_events
+        sim.run_until(start + 1.0)
+    return guard
+
+
+def bench_antientropy_digest(entries: int = 64, exchanges: int = 3000) -> int:
+    """Steady-state anti-entropy on a 64-entry replicated store.
+
+    Per exchange: the initiator ships its digest, the responder answers
+    with a delta, the initiator applies it and refreshes one own row —
+    exactly the per-round cost of one gossip pairing.
+    """
+    local: VersionedStore[str, int] = VersionedStore()
+    remote: VersionedStore[str, int] = VersionedStore()
+    for index in range(entries):
+        local.put(f"k{index}", index, (float(index), "w"))
+        if index % 2 == 0:
+            remote.put(f"k{index}", index, (float(index), "w"))
+    guard = 0
+    for round_no in range(exchanges):
+        delta = local.delta_for(remote.digest())
+        remote.apply_delta(delta)
+        back = remote.delta_for(local.digest())
+        local.apply_delta(back)
+        guard += len(delta) + len(back)
+        local.put(
+            f"k{round_no % entries}",
+            round_no,
+            (float(entries + round_no), "w"),
+        )
+    return guard
+
+
+def bench_aql_aggregation(nodes: int = 64, queries: int = 400) -> int:
+    """Repeated aggregate queries over an unchanged 64-row zone table.
+
+    This is the read side of "the root zone will have all the
+    information": dashboards and the pub/sub routing layer query
+    aggregates far more often than the underlying rows change.
+    """
+    deployment = build_astrolabe(
+        nodes, NewsWireConfig(branching_factor=64), seed=3
+    )
+    deployment.run_rounds(2)
+    agent = deployment.agents[0]
+    root = agent.zones[0]
+    guard = 0
+    for _ in range(queries):
+        guard += int(agent.evaluate_zone(root)["nmembers"])
+    return guard
+
+
+def bench_bloom_forward(tests: int = 40000) -> int:
+    """The per-forward filter test against an aggregated child-zone row."""
+    config = BloomConfig(num_bits=1024, num_hashes=4)
+    scheme = BloomScheme(config)
+    aggregate = BloomFilter(config.num_bits, config.num_hashes)
+    for index in range(64):
+        aggregate.add(f"newswire/topic-{index}")
+    row = {"subs": aggregate.to_int()}
+    hints = [
+        scheme.hints_for(f"newswire/topic-{index}", "newswire")
+        for index in range(96)
+    ]
+    guard = 0
+    for index in range(tests):
+        if scheme.zone_may_match(row, hints[index % len(hints)]):
+            guard += 1
+    return guard
+
+
+BENCHMARKS: Dict[str, Callable[[], int]] = {
+    "event_loop_churn": bench_event_loop_churn,
+    "antientropy_digest": bench_antientropy_digest,
+    "aql_zone_aggregation": bench_aql_aggregation,
+    "bloom_forward_test": bench_bloom_forward,
+}
+
+
+# ---------------------------------------------------------------------------
+# Harness
+# ---------------------------------------------------------------------------
+
+
+def _measure(fn: Callable[[], int], repeats: int) -> tuple[float, int]:
+    """Best-of-``repeats`` wall time and the workload's guard value."""
+    best = float("inf")
+    guard = 0
+    for _ in range(repeats):
+        started = time.perf_counter()
+        guard = fn()
+        elapsed = time.perf_counter() - started
+        best = min(best, elapsed)
+    return best, guard
+
+
+def run_benchmarks(repeats: int = 5) -> Dict[str, Dict[str, float]]:
+    results: Dict[str, Dict[str, float]] = {}
+    for name, fn in BENCHMARKS.items():
+        seconds, guard = _measure(fn, repeats)
+        results[name] = {"seconds": seconds, "guard": guard}
+    return results
+
+
+def load_baseline(path: Path) -> Optional[Dict]:
+    if not path.is_file():
+        return None
+    with path.open() as handle:
+        return json.load(handle)
+
+
+def build_report(
+    current: Dict[str, Dict[str, float]], baseline: Optional[Dict]
+) -> Dict:
+    report: Dict = {
+        "suite": "substrate-hot-paths",
+        "benchmarks": sorted(BENCHMARKS),
+        "current": current,
+    }
+    if baseline is not None:
+        base_numbers = baseline.get("benchmarks", baseline.get("current", {}))
+        report["baseline"] = {
+            "recorded": baseline.get("recorded", "pre-optimisation tree"),
+            "benchmarks": base_numbers,
+        }
+        speedups: Dict[str, float] = {}
+        for name, result in current.items():
+            base = base_numbers.get(name)
+            if not base:
+                continue
+            if base.get("guard") != result["guard"]:
+                raise SystemExit(
+                    f"guard mismatch on {name!r}: baseline "
+                    f"{base.get('guard')} vs current {result['guard']} — "
+                    "the workload's behaviour changed, refusing to compare"
+                )
+            speedups[name] = round(base["seconds"] / result["seconds"], 2)
+        report["speedup"] = speedups
+    return report
+
+
+def format_report(report: Dict) -> str:
+    lines = ["substrate hot paths (best-of-N seconds per workload)", ""]
+    base = report.get("baseline", {}).get("benchmarks", {})
+    speedups = report.get("speedup", {})
+    header = f"{'benchmark':<24} {'current (s)':>12}"
+    if base:
+        header += f" {'baseline (s)':>13} {'speedup':>8}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name in sorted(report["current"]):
+        seconds = report["current"][name]["seconds"]
+        line = f"{name:<24} {seconds:>12.4f}"
+        if name in speedups:
+            line += f" {base[name]['seconds']:>13.4f} {speedups[name]:>7.2f}x"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "-o", "--output", type=Path, default=None,
+        help="write the JSON report here (e.g. BENCH_substrate.json)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE,
+        help="recorded pre-optimisation numbers to compare against",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="record the current numbers as the baseline file instead",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5, help="best-of-N timing repeats"
+    )
+    args = parser.parse_args(argv)
+
+    current = run_benchmarks(repeats=args.repeats)
+
+    if args.write_baseline:
+        payload = {"recorded": "pre-optimisation tree", "benchmarks": current}
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        args.baseline.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"baseline recorded at {args.baseline}")
+        return 0
+
+    report = build_report(current, load_baseline(args.baseline))
+    print(format_report(report))
+    if args.output is not None:
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"\nwritten to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,10 +34,17 @@ class Entry(Generic[ValueT]):
 
 
 class VersionedStore(Generic[KeyT, ValueT]):
-    """Last-writer-wins replicated map with digest/delta reconciliation."""
+    """Last-writer-wins replicated map with digest/delta reconciliation.
+
+    The version digest is maintained *incrementally*: every mutation
+    updates a parallel ``key -> version`` map, so :meth:`digest` — paid
+    once per store per gossip exchange, every round, at every agent —
+    is a flat dict copy instead of a rebuild that touches every entry.
+    """
 
     def __init__(self) -> None:
         self._entries: Dict[KeyT, Entry[ValueT]] = {}
+        self._digest: Dict[KeyT, Version] = {}
 
     # -- local access ------------------------------------------------------
 
@@ -47,6 +54,7 @@ class VersionedStore(Generic[KeyT, ValueT]):
         if current is not None and current.version >= version:
             return False
         self._entries[key] = Entry(version, value)
+        self._digest[key] = version
         return True
 
     def get(self, key: KeyT) -> Optional[ValueT]:
@@ -68,6 +76,7 @@ class VersionedStore(Generic[KeyT, ValueT]):
         and expiry to reap it (see Astrolabe's row timeouts).
         """
         self._entries.pop(key, None)
+        self._digest.pop(key, None)
 
     def keys(self) -> Iterator[KeyT]:
         return iter(self._entries)
@@ -84,16 +93,48 @@ class VersionedStore(Generic[KeyT, ValueT]):
     # -- reconciliation -----------------------------------------------------
 
     def digest(self) -> Dict[KeyT, Version]:
-        """Version summary sent to a gossip partner."""
-        return {key: entry.version for key, entry in self._entries.items()}
+        """Version summary sent to a gossip partner.
+
+        A flat copy of the incrementally-maintained digest map (so the
+        caller gets snapshot semantics for in-flight messages without
+        the per-entry rebuild this used to cost).
+        """
+        return self._digest.copy()
+
+    def digest_view(self) -> Dict[KeyT, Version]:
+        """The live digest map — zero-copy, for local read-only use.
+
+        Callers must not mutate it or hold it across store mutations;
+        anything shipped in a message wants :meth:`digest` instead.
+        """
+        return self._digest
 
     def delta_for(self, remote_digest: Dict[KeyT, Version]) -> Dict[KeyT, Entry[ValueT]]:
-        """Entries the remote replica is missing or has stale."""
+        """Entries the remote replica is missing or has stale.
+
+        Entry objects are shared, never copied — they are immutable, so
+        the delta (and the replica that merges it) can alias them.
+
+        The scan iterates the slim digest map (key → version tuple)
+        rather than the entry map, touching an ``Entry`` only for the
+        keys actually shipped.  Because entries (and hence version
+        tuples) are *shared* between replicas that reconciled — see
+        :meth:`put_entry` — a converged key's remote version is usually
+        the identical object, so the common case per key is one dict
+        probe plus a pointer comparison, no tuple ordering at all.
+        """
+        local = self._digest
+        if remote_digest == local:
+            return {}  # replicas already agree — the steady-state case
         delta: Dict[KeyT, Entry[ValueT]] = {}
-        for key, entry in self._entries.items():
-            remote_version = remote_digest.get(key)
-            if remote_version is None or remote_version < entry.version:
-                delta[key] = entry
+        entries = self._entries
+        get_remote = remote_digest.get
+        for key, version in local.items():
+            remote_version = get_remote(key)
+            if remote_version is version:
+                continue  # same shared tuple: reconciled earlier
+            if remote_version is None or remote_version < version:
+                delta[key] = entries[key]
         return delta
 
     def put_entry(self, key: KeyT, entry: Entry[ValueT]) -> bool:
@@ -107,6 +148,7 @@ class VersionedStore(Generic[KeyT, ValueT]):
         if current is not None and current.version >= entry.version:
             return False
         self._entries[key] = entry
+        self._digest[key] = entry.version
         return True
 
     def apply_delta(self, delta: Dict[KeyT, Entry[ValueT]]) -> list[KeyT]:
@@ -119,7 +161,7 @@ class VersionedStore(Generic[KeyT, ValueT]):
 
     def merge_from(self, other: "VersionedStore[KeyT, ValueT]") -> list[KeyT]:
         """Full-state merge (used by tests and state transfer)."""
-        return self.apply_delta(dict(other._entries))
+        return self.apply_delta(other._entries)
 
     def expire(self, cutoff: Version) -> list[KeyT]:
         """Drop entries with versions strictly older than ``cutoff``.
@@ -130,6 +172,7 @@ class VersionedStore(Generic[KeyT, ValueT]):
         stale = [key for key, entry in self._entries.items() if entry.version < cutoff]
         for key in stale:
             del self._entries[key]
+            del self._digest[key]
         return stale
 
     def __repr__(self) -> str:

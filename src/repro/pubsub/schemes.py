@@ -27,7 +27,7 @@ from abc import ABC, abstractmethod
 from typing import Dict, Iterable, Mapping, Sequence
 
 from repro.core.bitmask import CategoryMask, CategoryRegistry
-from repro.core.bloom import BloomFilter, bit_positions
+from repro.core.bloom import BloomFilter, bit_positions, positions_mask
 from repro.core.config import BloomConfig
 from repro.core.errors import SubscriptionError
 from repro.core.identifiers import ZonePath
@@ -88,9 +88,27 @@ class BloomScheme(SubscriptionScheme):
     subject's bit positions; forwarders test those positions.
     """
 
+    #: Bound on the hints→mask memo (one entry per distinct subject in
+    #: flight; cleared wholesale if a workload exceeds it).
+    _MASK_CACHE_LIMIT = 65536
+
     def __init__(self, bloom: BloomConfig = BloomConfig()):
         bloom.validate()
         self.config = bloom
+        # hints tuple -> precomputed integer mask.  The scheme object is
+        # shared by every node of a deployment, so the mask for an item
+        # is folded once system-wide and the per-forward test collapses
+        # to ``bits & mask == mask`` (one big-int op) at every hop.
+        self._masks: Dict[tuple, int] = {}
+
+    def _mask_for(self, positions: tuple) -> int:
+        mask = self._masks.get(positions)
+        if mask is None:
+            if len(self._masks) >= self._MASK_CACHE_LIMIT:
+                self._masks.clear()
+            mask = positions_mask(positions)
+            self._masks[positions] = mask
+        return mask
 
     def leaf_attributes(
         self, subscriptions: Sequence[Subscription]
@@ -110,10 +128,8 @@ class BloomScheme(SubscriptionScheme):
         bits = row.get("subs")
         if not isinstance(bits, int):
             return True  # no subscription info: fail open, filter at leaf
-        for position in hints:
-            if not (bits >> position) & 1:
-                return False
-        return True
+        mask = self._mask_for(hints)
+        return bits & mask == mask
 
 
 class PublisherMaskScheme(SubscriptionScheme):
@@ -233,7 +249,8 @@ class PrefixBloomScheme(BloomScheme):
         if not isinstance(bits, int):
             return True  # no subscription info: fail open, filter at leaf
         for group in hints:
-            if all((bits >> position) & 1 for position in group):
+            mask = self._mask_for(group)
+            if bits & mask == mask:
                 return True
         return False
 

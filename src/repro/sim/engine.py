@@ -13,6 +13,14 @@ Determinism guarantees:
   :class:`repro.sim.rng.RngRegistry` owned by the simulation.
 
 Together these make every experiment a pure function of its seed.
+
+Cancellation is lazy (a cancelled handle stays in the heap until its
+time comes) but bounded: the simulation counts dead handles and
+compacts the heap when they outnumber live ones, so churn-heavy runs —
+repair timers set and cancelled every round — keep the heap linear in
+*live* events.  Compaction filters and re-heapifies under the same
+total order ``(time, seq)``, so the firing sequence is untouched (see
+``docs/SIMULATOR.md``).
 """
 
 from __future__ import annotations
@@ -25,25 +33,54 @@ from typing import Any, Callable, Iterable, Optional
 from repro.core.errors import SimulationError
 from repro.sim.rng import RngRegistry
 
+#: Compact only when at least this many dead handles accumulated, so
+#: small simulations never pay the (cheap) rebuild.
+_COMPACT_MIN_DEAD = 64
+
+# Module-level bindings for the scheduling fast path: these run once
+# per simulated event, where even a LOAD_ATTR shows up in profiles.
+_heappush = heapq.heappush
+_isfinite = math.isfinite
+
 
 class EventHandle:
-    """A cancellable reference to a scheduled event."""
+    """A cancellable reference to a scheduled event.
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    The heap itself stores ``(time, seq, handle)`` tuples so that sift
+    comparisons run entirely in C (tuple-vs-tuple on float then int;
+    ``seq`` is unique, so the handle is never compared) — a Python
+    ``__lt__`` here would be the single hottest call in churn-heavy
+    simulations.
+    """
 
-    def __init__(self, time: float, seq: int, callback: Callable[..., None], args: tuple):
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_sim")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple,
+        sim: Optional["Simulation"] = None,
+    ):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing (idempotent)."""
-        self.cancelled = True
-
-    def __lt__(self, other: "EventHandle") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        if not self.cancelled:
+            self.cancelled = True
+            sim = self._sim
+            if sim is not None:
+                # Inlined Simulation._note_cancelled — churny protocols
+                # cancel tens of thousands of timers per run.
+                sim._dead = dead = sim._dead + 1
+                if dead >= _COMPACT_MIN_DEAD and dead * 2 >= len(sim._heap):
+                    sim._compact()
 
     def __repr__(self) -> str:
         state = "cancelled" if self.cancelled else "pending"
@@ -57,7 +94,8 @@ class Simulation:
     def __init__(self, seed: int = 0):
         self._now = 0.0
         self._seq = 0
-        self._heap: list[EventHandle] = []
+        self._heap: list[tuple[float, int, EventHandle]] = []
+        self._dead = 0  # cancelled handles still sitting in the heap
         self._events_processed = 0
         self.rngs = RngRegistry(seed)
         self.seed = seed
@@ -75,7 +113,8 @@ class Simulation:
 
     @property
     def pending_events(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Live (uncancelled, unfired) events — O(1)."""
+        return len(self._heap) - self._dead
 
     def rng(self, name: str) -> random.Random:
         """The named deterministic random stream."""
@@ -83,22 +122,55 @@ class Simulation:
 
     # -- scheduling ------------------------------------------------------
 
+    def _schedule(
+        self, time: float, callback: Callable[..., None], args: tuple
+    ) -> EventHandle:
+        """Validated-input fast path shared by all scheduling entry points."""
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(time, seq, callback, args, self)
+        _heappush(self._heap, (time, seq, handle))
+        return handle
+
+    def _compact(self) -> None:
+        """Drop cancelled handles and re-heapify.
+
+        In-place (slice assignment) so concurrent references to the
+        heap list — e.g. a ``run_until`` frame further down the stack —
+        keep seeing the one true heap.  The heap invariant is rebuilt
+        under the same total order ``(time, seq)``, so the sequence of
+        future pops is exactly what lazy deletion would have produced.
+        """
+        self._heap[:] = [entry for entry in self._heap if not entry[2].cancelled]
+        heapq.heapify(self._heap)
+        self._dead = 0
+
     def call_at(self, time: float, callback: Callable[..., None], *args: Any) -> EventHandle:
-        """Schedule ``callback(*args)`` at absolute virtual ``time``."""
-        if math.isnan(time) or time < self._now:
+        """Schedule ``callback(*args)`` at absolute virtual ``time``.
+
+        ``time`` must be finite: an event at ``+inf`` would fire last,
+        wedge the clock at infinity and break every relative-time
+        computation afterwards, so it is rejected up front (as are NaN
+        and past times).
+        """
+        if not _isfinite(time) or time < self._now:
             raise SimulationError(
                 f"cannot schedule event at t={time} (now={self._now})"
             )
-        handle = EventHandle(time, self._seq, callback, args)
-        self._seq += 1
-        heapq.heappush(self._heap, handle)
-        return handle
+        return self._schedule(time, callback, args)
 
     def call_after(self, delay: float, callback: Callable[..., None], *args: Any) -> EventHandle:
-        """Schedule ``callback(*args)`` after ``delay`` seconds."""
-        if math.isnan(delay) or delay < 0:
-            raise SimulationError(f"delay must be >= 0, got {delay}")
-        return self.call_at(self._now + delay, callback, *args)
+        """Schedule ``callback(*args)`` after ``delay`` seconds (finite, >= 0)."""
+        if not _isfinite(delay) or delay < 0:
+            raise SimulationError(f"delay must be finite and >= 0, got {delay}")
+        # _schedule inlined: this is the most-called entry point in the
+        # whole simulator (every timer, timeout and message delivery).
+        time = self._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(time, seq, callback, args, self)
+        _heappush(self._heap, (time, seq, handle))
+        return handle
 
     def call_every(
         self,
@@ -114,17 +186,19 @@ class Simulation:
         interval); ``until`` stops the series at that time.  Returns a
         handle whose :meth:`PeriodicEvent.cancel` stops future firings.
         """
-        if interval <= 0:
-            raise SimulationError("interval must be positive")
+        if not math.isfinite(interval) or interval <= 0:
+            raise SimulationError("interval must be positive and finite")
         return PeriodicEvent(self, interval, callback, args, first_delay, until)
 
     # -- running ---------------------------------------------------------
 
     def step(self) -> bool:
         """Process the single next event.  Returns False when idle."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[2]
             if event.cancelled:
+                self._dead -= 1
                 continue
             self._now = event.time
             self._events_processed += 1
@@ -145,14 +219,23 @@ class Simulation:
         """Run all events with timestamps <= ``time``; clock ends at ``time``."""
         if time < self._now:
             raise SimulationError(f"cannot run backwards to t={time}")
-        while self._heap:
-            head = self._heap[0]
+        # Inline pop (single heap operation per event, no re-peek via
+        # step()) — this loop is the hottest few lines in the repo.
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            when, _, head = heap[0]
             if head.cancelled:
-                heapq.heappop(self._heap)
+                pop(heap)
+                self._dead -= 1
                 continue
-            if head.time > time:
+            if when > time:
                 break
-            self.step()
+            pop(heap)
+            self._now = when
+            self._events_processed += 1
+            head.cancelled = True  # consumed marker, as in step()
+            head.callback(*head.args)
         self._now = max(self._now, time)
 
     def run_for(self, duration: float) -> None:
@@ -172,7 +255,13 @@ class Simulation:
 
 
 class PeriodicEvent:
-    """A self-rescheduling event series created by ``call_every``."""
+    """A self-rescheduling event series created by ``call_every``.
+
+    The series never schedules past its ``until`` bound: once the next
+    firing would land beyond it, the series stops immediately — there
+    is no phantom wake-up, and :attr:`active` flips at the virtual time
+    of the last real firing.
+    """
 
     __slots__ = ("_sim", "interval", "callback", "args", "until", "_handle", "_stopped")
 
@@ -191,22 +280,30 @@ class PeriodicEvent:
         self.args = args
         self.until = until
         self._stopped = False
+        self._handle: Optional[EventHandle] = None
         delay = interval if first_delay is None else first_delay
-        self._handle = sim.call_after(delay, self._fire)
+        if until is not None and sim.now + delay > until:
+            self._stopped = True  # would already start past the deadline
+        else:
+            self._handle = sim.call_after(delay, self._fire)
 
     def _fire(self) -> None:
         if self._stopped:
             return
-        if self.until is not None and self._sim.now > self.until:
+        self.callback(*self.args)
+        if self._stopped:  # callback may have cancelled us
+            return
+        sim = self._sim
+        next_time = sim._now + self.interval
+        if self.until is not None and next_time > self.until:
             self._stopped = True
             return
-        self.callback(*self.args)
-        if not self._stopped:  # callback may have cancelled us
-            self._handle = self._sim.call_after(self.interval, self._fire)
+        self._handle = sim._schedule(next_time, self._fire, ())
 
     def cancel(self) -> None:
         self._stopped = True
-        self._handle.cancel()
+        if self._handle is not None:
+            self._handle.cancel()
 
     @property
     def active(self) -> bool:

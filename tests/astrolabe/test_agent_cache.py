@@ -1,0 +1,98 @@
+"""Tests for aggregation-result caching and AQL program memoization.
+
+The agent caches per-zone aggregation output keyed on the table's
+content token and the installed-certificate generation; compiled AQL
+programs are memoized by source text.  Both must be invisible except
+for speed: any value-visible change or new mobile code invalidates.
+"""
+
+import pytest
+
+from repro.core.config import NewsWireConfig
+from repro.astrolabe.aql import AqlProgram, compile_program
+from repro.astrolabe.certificates import AggregationCertificate
+from repro.astrolabe.deployment import build_astrolabe
+
+
+@pytest.fixture
+def deployment():
+    return build_astrolabe(12, NewsWireConfig(branching_factor=4), seed=7)
+
+
+class TestCompileMemo:
+    def test_same_source_shares_one_program(self):
+        source = "SELECT COUNT(*) AS memo_n"
+        assert compile_program(source) is compile_program(source)
+
+    def test_memoized_program_matches_direct_compile(self):
+        source = "SELECT SUM(x) AS s"
+        rows = [{"x": 1}, {"x": 2}]
+        assert compile_program(source).evaluate(rows) == AqlProgram(source).evaluate(rows)
+
+    def test_bad_source_not_cached(self):
+        with pytest.raises(Exception):
+            compile_program("THIS IS NOT AQL")
+        with pytest.raises(Exception):
+            compile_program("THIS IS NOT AQL")
+
+
+class TestAggregationCache:
+    def test_repeated_evaluation_is_stable_and_cached(self, deployment):
+        agent = deployment.agents[0]
+        zone = agent.parent_zone
+        first = agent.evaluate_zone(zone)
+        token = agent._agg_cache[zone][0]
+        second = agent.evaluate_zone(zone)
+        assert second == first
+        assert agent._agg_cache[zone][0] == token  # no re-evaluation
+
+    def test_returned_mapping_is_a_copy(self, deployment):
+        agent = deployment.agents[0]
+        zone = agent.parent_zone
+        result = agent.evaluate_zone(zone)
+        result["nmembers"] = 999  # caller mutation must not poison the cache
+        assert agent.evaluate_zone(zone)["nmembers"] != 999
+
+    def test_value_change_invalidates(self, deployment):
+        agent = deployment.agents[0]
+        zone = agent.parent_zone
+        agent.evaluate_zone(zone)
+        agent.set_load(9.0)
+        assert agent.evaluate_zone(zone)["maxload"] == 9.0
+
+    def test_version_only_refresh_keeps_content_token(self, deployment):
+        """The per-round own-row refresh rewrites identical attributes
+        with a fresh version; the cache must survive it or it would
+        never hit in steady state."""
+        agent = deployment.agents[0]
+        table = agent.zone_table(agent.parent_zone)
+        before = table.content_token
+        agent.refresh()
+        assert table.content_token == before
+
+    def test_cert_install_invalidates(self, deployment):
+        agent = deployment.agents[0]
+        zone = agent.parent_zone
+        assert "extra_n" not in agent.evaluate_zone(zone)
+        cert = AggregationCertificate.issue(
+            "extra", "SELECT COUNT(*) AS extra_n", "admin",
+            deployment.keychain, issued_at=1.0,
+        )
+        agent.install_aggregation(cert)
+        assert agent.evaluate_zone(zone)["extra_n"] >= 1
+
+    def test_remote_delta_with_new_values_invalidates(self, deployment):
+        """Rows arriving by anti-entropy with changed values must bump
+        the content token just like local writes."""
+        agent_a, agent_b = deployment.agents[0], deployment.agents[1]
+        zone = agent_a.parent_zone
+        if not agent_b.replicates(zone):  # same leaf zone under bf=4 seed=7
+            pytest.skip("agents not in the same leaf zone for this topology")
+        agent_a.evaluate_zone(zone)
+        agent_b.set_load(4.5)
+        table_a = agent_a.zone_table(zone)
+        before = table_a.content_token
+        delta = agent_b.zone_table(zone).delta_for(table_a.digest())
+        table_a.apply_delta(delta)
+        assert table_a.content_token > before
+        assert agent_a.evaluate_zone(zone)["maxload"] == 4.5

@@ -231,3 +231,59 @@ class TestCountingBloomFilter:
         for item in items:
             counting.remove(item)
         assert counting.is_empty
+
+
+class TestMaskFastPath:
+    """``test_mask`` is the forwarding hot path's single-big-int-op form
+    of ``test_positions``; the two must always agree."""
+
+    @given(st.lists(st.integers(min_value=0, max_value=1023), max_size=12))
+    @settings(max_examples=100)
+    def test_mask_agrees_with_test_positions(self, positions):
+        from repro.core.bloom import positions_mask
+
+        bloom = BloomFilter.from_items([f"s{i}" for i in range(32)], 1024, 4)
+        mask = positions_mask(positions)
+        assert bloom.test_mask(mask) == bloom.test_positions(positions)
+
+    def test_positions_mask_folds_bits(self):
+        from repro.core.bloom import positions_mask
+
+        assert positions_mask([0, 3, 3]) == 0b1001
+        assert positions_mask([]) == 0
+
+    def test_empty_mask_always_matches(self):
+        assert BloomFilter(64).test_mask(0)
+
+    def test_membership_via_mask(self):
+        from repro.core.bloom import positions_mask
+
+        bloom = BloomFilter(1024, 4)
+        bloom.add("tech")
+        mask = positions_mask(bloom.positions("tech"))
+        assert bloom.test_mask(mask)
+
+
+class TestSetPositionsAtomic:
+    def test_out_of_range_mid_batch_leaves_filter_unchanged(self):
+        """Regression: a bad position part-way through the iterable used
+        to leave the earlier bits set (a partial update no caller could
+        detect or roll back)."""
+        bloom = BloomFilter(num_bits=16)
+        bloom.add("seed")
+        before = bloom.to_int()
+        with pytest.raises(ConfigurationError):
+            bloom.set_positions([1, 2, 99, 3])
+        assert bloom.to_int() == before
+
+    def test_negative_position_rejected_atomically(self):
+        bloom = BloomFilter(num_bits=16)
+        with pytest.raises(ConfigurationError):
+            bloom.set_positions([4, -1])
+        assert bloom.is_empty
+
+    def test_valid_batch_sets_all(self):
+        bloom = BloomFilter(num_bits=16)
+        bloom.set_positions([0, 5, 15])
+        assert bloom.test_positions([0, 5, 15])
+        assert bloom.bit_count == 3

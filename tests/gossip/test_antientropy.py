@@ -154,3 +154,68 @@ class TestConvergenceProperties:
                 v for v in (versions_a.get(key), versions_b.get(key)) if v is not None
             )
             assert a.version(key) == expected
+
+
+# Arbitrary mutation sequences for the incremental-digest invariant.
+MUTATIONS = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), st.integers(min_value=0, max_value=5), VERSIONS),
+        st.tuples(st.just("remove"), st.integers(min_value=0, max_value=5)),
+        st.tuples(st.just("expire"), VERSIONS),
+    ),
+    max_size=40,
+)
+
+
+class TestIncrementalDigest:
+    """The digest map is maintained incrementally on every mutation; it
+    must stay equal to the from-scratch rebuild over the entries."""
+
+    @staticmethod
+    def rebuilt(store: VersionedStore):
+        return {key: store.entry(key).version for key in store.keys()}
+
+    @given(MUTATIONS)
+    @settings(max_examples=100)
+    def test_digest_equals_from_scratch(self, mutations):
+        store = VersionedStore()
+        for mutation in mutations:
+            if mutation[0] == "put":
+                _, key, version = mutation
+                store.put(key, hash((key, version)), version)
+            elif mutation[0] == "remove":
+                store.remove(mutation[1])
+            else:
+                store.expire(mutation[1])
+            assert store.digest() == self.rebuilt(store)
+
+    @given(WRITES, WRITES)
+    @settings(max_examples=50)
+    def test_digest_consistent_after_sync(self, writes_a, writes_b):
+        a, b = store_of(writes_a), store_of(writes_b)
+        sync(a, b)  # exercises put_entry/apply_delta maintenance
+        assert a.digest() == self.rebuilt(a)
+        assert b.digest() == self.rebuilt(b)
+
+    def test_digest_returns_snapshot(self):
+        """In-flight gossip messages carry the digest as sent, not a live
+        view that mutates underneath them."""
+        store = VersionedStore()
+        store.put("k", 1, (1.0, "a"))
+        snapshot = store.digest()
+        store.put("k", 2, (2.0, "a"))
+        assert snapshot == {"k": (1.0, "a")}
+
+    def test_digest_view_is_live_and_zero_copy(self):
+        store = VersionedStore()
+        store.put("k", 1, (1.0, "a"))
+        view = store.digest_view()
+        store.put("k", 2, (2.0, "a"))
+        assert view == {"k": (2.0, "a")}
+        assert store.digest_view() is view
+
+    def test_delta_for_identical_digest_is_empty(self):
+        """The steady-state fast path: replicas that agree exchange
+        nothing."""
+        store = store_of([(1, (1.0, "a")), (2, (2.0, "b"))])
+        assert store.delta_for(store.digest()) == {}

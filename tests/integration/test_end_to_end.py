@@ -200,6 +200,7 @@ class TestJoiningFlow:
 
 
 class TestScenarioReplay:
+    @pytest.mark.slow
     def test_tech_news_scenario_replays(self):
         scenario = tech_news_scenario(duration=3600.0, items_per_day=400.0, seed=2)
         config = NewsWireConfig(branching_factor=8)

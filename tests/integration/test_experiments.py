@@ -49,6 +49,7 @@ class TestE2LatencyScaling:
 
 
 class TestE3PublisherLoad:
+    @pytest.mark.slow
     def test_newswire_publisher_load_sublinear(self):
         result = run_e3(sizes=(50, 200), items=5)
         by_system = {}
@@ -67,6 +68,7 @@ class TestE3PublisherLoad:
 
 
 class TestE4Overload:
+    @pytest.mark.slow
     def test_pull_collapses_newswire_survives(self):
         result = run_e4(num_clients=80, items=5, flood_rates=(0.0, 2000.0))
         rows = {(r.system, r.flood_rate): r for r in result.rows}
@@ -153,6 +155,7 @@ class TestE9Queues:
         fifo, urgency = result.rows
         assert urgency.urgent_p50 < fifo.urgent_p50
 
+    @pytest.mark.slow
     def test_all_strategies_deliver_everything(self):
         result = run_e9(num_nodes=60, items=10, send_rate=20.0)
         deliveries = {row.deliveries for row in result.rows}
@@ -181,6 +184,7 @@ class TestE11Partition:
         assert row.recovered_ratio > 0.95
         assert row.recovery_time_s is not None
 
+    @pytest.mark.slow
     def test_long_partition_small_buffer_loses_backlog(self):
         from repro.experiments.e11_partition import run_e11
 
@@ -194,6 +198,7 @@ class TestE11Partition:
 
 
 class TestE4Physical:
+    @pytest.mark.slow
     def test_delivery_survives_physically_saturated_downlink(self):
         from repro.experiments.e4_overload import run_e4_physical
 

@@ -1,0 +1,64 @@
+"""Golden determinism fingerprints for the E2 latency experiment.
+
+These tuples were captured on the pre-overhaul substrate (before
+incremental digests, heap compaction, mask-form Bloom tests and
+aggregation caching).  The optimizations must be behaviour-preserving:
+a fixed-seed run stays byte-identical.  If a change legitimately
+alters scheduling or gossip semantics, re-capture the tuples with the
+same calls below and document the change.
+"""
+
+from repro.experiments.e2_latency import run_e2
+
+
+def fingerprint(result):
+    row = result.rows[0]
+    return (
+        row.num_nodes,
+        row.items,
+        row.expected,
+        row.delivered,
+        row.ratio,
+        row.latency.p50,
+        row.latency.p90,
+        row.latency.p99,
+        row.latency.maximum,
+    )
+
+
+class TestE2Golden:
+    def test_small_run_byte_identical(self):
+        result = run_e2(
+            sizes=(48,),
+            items=3,
+            item_spacing=1.0,
+            subscriptions_per_node=2,
+            settle_rounds=2.0,
+            drain_time=20.0,
+            seed=11,
+        )
+        assert fingerprint(result) == (
+            48, 3, 68, 68, 1.0,
+            0.07796391124310853,
+            0.10660346298054517,
+            0.11764236234170554,
+            0.11785848519919195,
+        )
+
+    def test_medium_run_byte_identical(self):
+        result = run_e2(
+            sizes=(96,),
+            items=4,
+            item_spacing=1.0,
+            subscriptions_per_node=3,
+            settle_rounds=3.0,
+            drain_time=25.0,
+            seed=5,
+        )
+        assert fingerprint(result) == (
+            96, 4, 216, 216, 1.0,
+            0.14133477116778614,
+            0.15568531779464134,
+            0.1638997812299936,
+            0.16526657258996114,
+        )

@@ -1,0 +1,216 @@
+"""Tests for the event-kernel hot paths.
+
+Covers the O(1) pending-event counter, bounded heap compaction,
+rejection of non-finite scheduling times, and the periodic-series
+deadline semantics (no phantom wake-up past ``until``).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import SimulationError
+from repro.sim.engine import _COMPACT_MIN_DEAD, Simulation
+
+
+def live_scan(sim: Simulation) -> int:
+    """Ground truth the O(1) counter must match: scan the heap."""
+    return sum(1 for _, _, event in sim._heap if not event.cancelled)
+
+
+class TestNonFiniteRejection:
+    @pytest.mark.parametrize("bad", [math.inf, -math.inf, math.nan])
+    def test_call_at_rejects(self, bad):
+        sim = Simulation()
+        with pytest.raises(SimulationError):
+            sim.call_at(bad, lambda: None)
+
+    @pytest.mark.parametrize("bad", [math.inf, -math.inf, math.nan, -1.0])
+    def test_call_after_rejects(self, bad):
+        sim = Simulation()
+        with pytest.raises(SimulationError):
+            sim.call_after(bad, lambda: None)
+
+    @pytest.mark.parametrize("bad", [math.inf, math.nan, 0.0, -2.0])
+    def test_call_every_rejects(self, bad):
+        sim = Simulation()
+        with pytest.raises(SimulationError):
+            sim.call_every(bad, lambda: None)
+
+    def test_inf_event_cannot_wedge_clock(self):
+        """The motivating bug: an event at ``+inf`` fired last, drove the
+        clock to infinity, and broke every relative-time computation
+        afterwards.  Now it never enters the heap."""
+        sim = Simulation()
+        fired = []
+        sim.call_after(1.0, fired.append, "ok")
+        with pytest.raises(SimulationError):
+            sim.call_at(math.inf, fired.append, "never")
+        sim.run()
+        assert fired == ["ok"]
+        assert sim.now == 1.0
+
+
+ACTIONS = st.lists(
+    st.one_of(
+        st.tuples(st.just("schedule"), st.floats(0, 10, allow_nan=False)),
+        st.tuples(st.just("cancel"), st.integers(0, 300)),
+        st.tuples(st.just("run"), st.floats(0, 3, allow_nan=False)),
+    ),
+    max_size=60,
+)
+
+
+class TestPendingCount:
+    @given(ACTIONS)
+    @settings(max_examples=60, deadline=None)
+    def test_pending_events_matches_heap_scan(self, actions):
+        """The incrementally-maintained count always equals what a full
+        scan of the heap would report, across schedule/cancel/run
+        interleavings (including double cancels and fired handles)."""
+        sim = Simulation()
+        handles = []
+        for kind, value in actions:
+            if kind == "schedule":
+                handles.append(sim.call_after(value, lambda: None))
+            elif kind == "cancel" and handles:
+                handles[value % len(handles)].cancel()
+            elif kind == "run":
+                sim.run_for(value)
+            assert sim.pending_events == live_scan(sim)
+
+    def test_cancel_idempotent(self):
+        sim = Simulation()
+        handle = sim.call_after(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert sim.pending_events == 0
+        assert live_scan(sim) == 0
+
+    def test_cancel_after_firing_is_noop(self):
+        sim = Simulation()
+        handle = sim.call_after(1.0, lambda: None)
+        sim.run()
+        handle.cancel()  # already consumed; must not corrupt the count
+        assert sim.pending_events == 0
+
+
+class TestCompaction:
+    def test_mass_cancellation_compacts_heap(self):
+        sim = Simulation()
+        fired = []
+        for i in range(100):
+            sim.call_at(float(i), fired.append, i)
+        doomed = [
+            sim.call_after(1000.0 + i, fired.append, -1)
+            for i in range(3 * _COMPACT_MIN_DEAD)
+        ]
+        for handle in doomed:
+            handle.cancel()
+        # Compaction fired at least once mid-way: far fewer corpses in
+        # the heap than were cancelled, and dead stayed under threshold.
+        assert len(sim._heap) < 100 + len(doomed)
+        assert sim._dead < 2 * _COMPACT_MIN_DEAD
+        assert len(sim._heap) == 100 + sim._dead
+        assert sim.pending_events == 100
+        sim.run()
+        assert fired == list(range(100))
+
+    def test_firing_order_identical_with_and_without_churn(self):
+        """Lazy deletion + compaction must produce exactly the firing
+        sequence of a run where the cancelled events never existed."""
+
+        def workload(churn: bool):
+            sim = Simulation()
+            log = []
+            doomed = []
+            for i in range(200):
+                sim.call_at(i * 0.5, log.append, i)
+                if churn:
+                    doomed.append(sim.call_at(i * 0.5 + 500.0, log.append, -1))
+            if churn:
+                for handle in doomed:
+                    handle.cancel()
+            sim.run_until(150.0)
+            return log
+
+        assert workload(churn=True) == workload(churn=False)
+
+    def test_compaction_inside_running_callback(self):
+        """Compaction rebuilds the heap *in place*; a ``run_until`` frame
+        holding a local reference to the heap list keeps draining the
+        one true heap after a callback triggers mass cancellation."""
+        sim = Simulation()
+        fired = []
+        doomed = [
+            sim.call_at(50.0 + i, fired.append, -1)
+            for i in range(3 * _COMPACT_MIN_DEAD)
+        ]
+
+        def cancel_all():
+            for handle in doomed:
+                handle.cancel()
+
+        sim.call_at(1.0, cancel_all)
+        sim.call_at(2.0, fired.append, "after")
+        sim.run_until(100.0)
+        assert fired == ["after"]
+        assert sim.pending_events == 0
+        assert sim._heap == []
+
+
+class TestPeriodicDeadline:
+    def test_no_phantom_event_past_until(self):
+        sim = Simulation()
+        fired = []
+        series = sim.call_every(1.0, fired.append, "tick", until=3.0)
+        sim.run_until(3.0)
+        assert fired == ["tick"] * 3
+        assert not series.active
+        # Regression: a wake-up used to be scheduled at t=4.0 just to
+        # discover the deadline had passed.
+        assert sim.pending_events == 0
+
+    def test_clock_stops_at_last_real_firing(self):
+        sim = Simulation()
+        fired = []
+        sim.call_every(1.0, fired.append, 1, until=3.0)
+        sim.run()
+        assert fired == [1, 1, 1]
+        assert sim.now == 3.0  # not until+interval
+
+    def test_active_flips_at_last_firing(self):
+        sim = Simulation()
+        series = sim.call_every(1.0, lambda: None, until=2.5)
+        sim.run_until(2.0)  # fires at 1.0, 2.0; next (3.0) is past 2.5
+        assert not series.active
+        assert sim.pending_events == 0
+
+    def test_first_delay_past_until_never_fires(self):
+        sim = Simulation()
+        fired = []
+        series = sim.call_every(1.0, fired.append, "x", first_delay=5.0, until=3.0)
+        assert not series.active
+        assert sim.pending_events == 0
+        sim.run()
+        assert fired == []
+
+    def test_until_on_boundary_inclusive(self):
+        """A firing exactly at ``until`` still happens (strict > test)."""
+        sim = Simulation()
+        fired = []
+        sim.call_every(2.0, fired.append, "t", until=4.0)
+        sim.run()
+        assert fired == ["t", "t"]  # at 2.0 and 4.0
+
+    def test_cancel_stops_series(self):
+        sim = Simulation()
+        fired = []
+        series = sim.call_every(1.0, fired.append, "t")
+        sim.run_until(2.0)
+        series.cancel()
+        assert not series.active
+        sim.run_until(10.0)
+        assert fired == ["t", "t"]
+        assert sim.pending_events == 0
