@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-quick bench bench-pytest experiments experiments-quick examples clean
+.PHONY: install test test-fast test-quick lint bench bench-pytest experiments experiments-quick examples clean
 
 install:
 	pip install -e '.[test]'
@@ -15,6 +15,16 @@ test-fast:
 
 test-quick:
 	$(PYTHON) -m pytest tests/ -q -m "not slow"
+
+# Same command CI runs; skips gracefully where ruff isn't installed.
+lint:
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests benchmarks examples; \
+	elif command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed; skipping lint (CI runs it)"; \
+	fi
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m repro.experiments.bench_substrate -o BENCH_substrate.json

@@ -14,7 +14,6 @@ side on the same publication trace:
 Run:  python examples/slashdot_day.py
 """
 
-import random
 
 from repro.baselines import OriginServer, PullClient
 from repro.core import NewsWireConfig

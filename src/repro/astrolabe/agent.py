@@ -75,6 +75,12 @@ class AstrolabeAgent(Process):
         self.config = config
         self.keychain = keychain
         self.trace = trace if trace is not None else TraceLog(sim, kinds=set())
+        # Instruments are looked up once here; gossip hot paths then pay
+        # a single attribute increment per observation.
+        metrics = self.trace.metrics
+        self._m_gossip_rounds = metrics.counter("gossip.rounds")
+        self._m_gossip_requests = metrics.counter("gossip.requests")
+        self._m_delta_bytes = metrics.counter("gossip.delta_bytes")
         #: Ancestors root-first: zones[0] is the root, zones[-1] the parent.
         self.zones: list[ZonePath] = list(node_id.ancestors())
         self.tables: Dict[ZonePath, ZoneTable] = {
@@ -296,6 +302,7 @@ class AstrolabeAgent(Process):
     # ------------------------------------------------------------------
 
     def _gossip_round(self) -> None:
+        self._m_gossip_rounds.inc()
         self._refresh_own_row()
         self._recompute_aggregates()
         self._expire_rows()
@@ -372,6 +379,7 @@ class AstrolabeAgent(Process):
 
     def _send_request(self, partner: NodeId, zone: ZonePath) -> None:
         message = GossipRequest(zone, self._path_digests(zone), self._certs.digest())
+        self._m_gossip_requests.inc()
         self.trace.record("gossip-request", zone=str(zone), to=str(partner))
         self.send(partner, message)
 
@@ -411,6 +419,7 @@ class AstrolabeAgent(Process):
             self._certs_delta_for(message.certs_digest),
             self._certs.digest(),
         )
+        self._m_delta_bytes.inc(reply.wire_size)
         self.send(sender, reply)
 
     def _handle_reply(self, sender: NodeId, message: GossipReply) -> None:
@@ -422,6 +431,7 @@ class AstrolabeAgent(Process):
         self._apply_path_deltas(message.deltas)
         self._apply_certs_delta(message.certs_delta)
         if finish.deltas or finish.certs_delta:
+            self._m_delta_bytes.inc(finish.wire_size)
             self.send(sender, finish)
 
     def _handle_finish(self, sender: NodeId, message: GossipFinish) -> None:

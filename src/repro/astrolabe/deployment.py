@@ -19,6 +19,8 @@ from typing import Callable, Dict, Optional, Sequence, Type
 from repro.core.config import NewsWireConfig
 from repro.core.errors import ConfigurationError
 from repro.core.identifiers import NodeId, ZonePath
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sinks import TraceSink
 from repro.sim.engine import Simulation
 from repro.sim.failures import FailureInjector
 from repro.sim.network import LatencyModel, Network
@@ -83,6 +85,11 @@ class AstrolabeDeployment:
     def num_nodes(self) -> int:
         return len(self.agents)
 
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The deployment-wide metrics registry (owned by the trace)."""
+        return self.trace.metrics
+
     def agent_by_id(self, node_id: NodeId) -> AstrolabeAgent:
         for agent in self.agents:
             if agent.node_id == node_id:
@@ -132,6 +139,8 @@ def build_astrolabe(
     bandwidth: Optional[float] = None,
     ingress_bandwidth: Optional[float] = None,
     trace_kinds: Optional[set[str]] = None,
+    sinks: Optional[Sequence[TraceSink]] = None,
+    metrics: Optional[MetricsRegistry] = None,
     agent_class: Type[AstrolabeAgent] = AstrolabeAgent,
     extra_certificates: Sequence[AggregationCertificate] = (),
     configure_agent: Optional[Callable[[AstrolabeAgent, int], None]] = None,
@@ -146,6 +155,12 @@ def build_astrolabe(
     time-zero snapshot.  With ``preseed=False`` agents start with only
     their own rows and must discover each other by gossip — used by the
     bootstrap/convergence tests.
+
+    ``sinks`` selects the observability sinks the shared trace fans out
+    to (default: one in-memory sink); ``metrics`` supplies a shared
+    :class:`MetricsRegistry` (default: a fresh one).  Neither affects
+    protocol behaviour — fixed-seed runs stay byte-identical whatever
+    sinks are attached.
     """
     config = (config or NewsWireConfig()).validate()
     sim = Simulation(seed=seed)
@@ -156,7 +171,12 @@ def build_astrolabe(
         bandwidth=bandwidth,
         ingress_bandwidth=ingress_bandwidth,
     )
-    trace = TraceLog(sim, kinds=trace_kinds if trace_kinds is not None else set())
+    trace = TraceLog(
+        sim,
+        kinds=trace_kinds if trace_kinds is not None else set(),
+        sinks=sinks,
+        metrics=metrics,
+    )
     if keychain is None:
         keychain = KeyChain()
     if ADMIN_PRINCIPAL not in keychain:

@@ -1,10 +1,21 @@
 """Claim-reproduction experiments E1–E11 (see DESIGN.md §3).
 
 Each module is runnable (``python -m repro.experiments.eN_...``) and
-exposes ``run_eN(...) -> ENResult`` with a ``report()`` table; the
-benchmarks under ``benchmarks/`` call the same drivers.
+exposes ``run_eN(*, ...) -> ENResult`` with a ``report()`` table; the
+benchmarks under ``benchmarks/`` call the same drivers.  Importing
+this package registers every experiment in
+:mod:`repro.experiments.registry` (the ``@register`` decorators run),
+which is what drives ``python -m repro.experiments --list``.
 """
 
+from repro.experiments.registry import (
+    ExperimentConfig,
+    ExperimentSpec,
+    all_specs,
+    experiment_names,
+    get_spec,
+    register,
+)
 from repro.experiments.e1_redundancy import E1Result, run_e1
 from repro.experiments.e2_latency import E2Result, run_e2
 from repro.experiments.e3_publisher_load import E3Result, run_e3
@@ -18,6 +29,12 @@ from repro.experiments.e10_scoped import E10Result, run_e10
 from repro.experiments.e11_partition import E11Result, run_e11
 
 __all__ = [
+    "ExperimentConfig",
+    "ExperimentSpec",
+    "all_specs",
+    "experiment_names",
+    "get_spec",
+    "register",
     "E1Result",
     "E2Result",
     "E3Result",

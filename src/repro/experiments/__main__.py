@@ -1,79 +1,144 @@
-"""Run every claim-reproduction experiment and print the reports.
+"""Run claim-reproduction experiments through the unified registry.
 
 Usage::
 
-    python -m repro.experiments             # all of E1–E11 (tens of minutes)
-    python -m repro.experiments e1 e4 e10   # a selection
-    python -m repro.experiments --quick     # reduced sizes (a few minutes)
+    python -m repro.experiments                  # all of E1–E11 (tens of minutes)
+    python -m repro.experiments e1 e4 e10        # a selection
+    python -m repro.experiments --quick          # reduced sizes (a few minutes)
+    python -m repro.experiments --list           # what exists, with claims
+    python -m repro.experiments --json out/ e2   # also write run artifacts
 
-Each report is also what EXPERIMENTS.md records.
+``--json DIR`` writes one :class:`~repro.obs.manifest.RunManifest`
+per experiment (seed, parameters, git revision, wall time, result
+payload) into ``DIR/<name>.json`` — the per-run provenance artifact.
+
+Each printed report is also what EXPERIMENTS.md records.
 """
 
 from __future__ import annotations
 
+import argparse
+import dataclasses
 import sys
 import time
+from pathlib import Path
+from typing import Optional
 
-from repro.experiments import (
-    run_e1,
-    run_e11,
-    run_e2,
-    run_e3,
-    run_e4,
-    run_e5,
-    run_e6,
-    run_e7,
-    run_e8,
-    run_e9,
-    run_e10,
+from repro.core.errors import ConfigurationError
+from repro.experiments.registry import (
+    ExperimentConfig,
+    ExperimentSpec,
+    all_specs,
+    experiment_names,
+    get_spec,
 )
+from repro.obs.manifest import RunManifest
+from repro.obs.metrics import MetricsRegistry
 
-FULL = {
-    "e1": lambda: run_e1(),
-    "e2": lambda: run_e2(),
-    "e3": lambda: run_e3(),
-    "e4": lambda: run_e4(),
-    "e5": lambda: run_e5(),
-    "e6": lambda: run_e6(),
-    "e7": lambda: run_e7(),
-    "e8": lambda: run_e8(),
-    "e9": lambda: run_e9(),
-    "e10": lambda: run_e10(),
-    "e11": lambda: run_e11(),
-}
 
-QUICK = {
-    "e1": lambda: run_e1(days=1.0),
-    "e2": lambda: run_e2(sizes=(100, 400), items=3),
-    "e3": lambda: run_e3(sizes=(100, 400), items=5),
-    "e4": lambda: run_e4(num_clients=100, items=5, flood_rates=(0.0, 2000.0)),
-    "e5": lambda: run_e5(),
-    "e6": lambda: run_e6(sizes=(100,), gossip_intervals=(2.0,)),
-    "e7": lambda: run_e7(num_nodes=120, items=5),
-    "e8": lambda: run_e8(num_nodes=128, branchings=(4, 64), items=3,
-                         measure_time=30.0),
-    "e9": lambda: run_e9(num_nodes=80, items=20),
-    "e10": lambda: run_e10(num_nodes=120),
-    "e11": lambda: run_e11(num_nodes=80, durations=(20.0,),
-                           buffer_capacities=(16, 256)),
-}
+def _list_specs() -> str:
+    lines = []
+    for spec in all_specs():
+        quick = (
+            ", ".join(f"{k}={v!r}" for k, v in spec.quick_params.items())
+            or "(defaults)"
+        )
+        lines.append(f"{spec.name:>4}  {spec.claim}")
+        lines.append(f"      quick: {quick}")
+    return "\n".join(lines)
+
+
+def _result_payload(result) -> object:
+    """The JSON-able view of an experiment result."""
+    if dataclasses.is_dataclass(result) and not isinstance(result, type):
+        return dataclasses.asdict(result)
+    return result
+
+
+def _run_one(
+    spec: ExperimentSpec,
+    config: ExperimentConfig,
+    json_dir: Optional[Path],
+) -> float:
+    """Run one experiment, print its report, write its manifest."""
+    manifest = RunManifest.start(
+        experiment=spec.name,
+        seed=config.seed,
+        quick=config.quick,
+        config=spec.build_kwargs(config),
+    )
+    # Runners that take a registry share one across their sweeps, so
+    # the manifest can carry the aggregate metric snapshot.  (The
+    # registry is an observer only; injecting it cannot perturb runs.)
+    registry = None
+    if "metrics" in spec.parameters and "metrics" not in config.overrides:
+        registry = MetricsRegistry()
+        config = dataclasses.replace(
+            config, overrides={**config.overrides, "metrics": registry}
+        )
+    started = time.time()
+    result = spec.run(config)
+    elapsed = time.time() - started
+    print(result.report())
+    if json_dir is not None:
+        manifest.finish(
+            metrics=registry.snapshot() if registry is not None else None,
+            result=_result_payload(result),
+            claim=spec.claim,
+        )
+        path = json_dir / f"{spec.name}.json"
+        manifest.write(path)
+        print(f"[{spec.name} manifest -> {path}]")
+    return elapsed
 
 
 def main(argv: list[str]) -> int:
-    quick = "--quick" in argv
-    names = [arg for arg in argv if not arg.startswith("-")]
-    runners = QUICK if quick else FULL
-    selected = names or list(runners)
-    unknown = [name for name in selected if name not in runners]
-    if unknown:
-        print(f"unknown experiments: {unknown}; choose from {list(runners)}")
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run the E1-E11 claim-reproduction experiments.",
+    )
+    parser.add_argument(
+        "names", nargs="*", metavar="NAME",
+        help="experiments to run (default: all, in order)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", dest="list_specs",
+        help="list registered experiments with their claims and quick params",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="run with each spec's reduced-scale quick parameters",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="override the experiment seed (default: each runner's own)",
+    )
+    parser.add_argument(
+        "--json", metavar="DIR", default=None,
+        help="write a RunManifest artifact per experiment into DIR",
+    )
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:  # argparse exits on --help / bad flags
+        return int(exc.code or 0)
+
+    if args.list_specs:
+        print(_list_specs())
+        return 0
+
+    try:
+        specs = [get_spec(name) for name in (args.names or experiment_names())]
+    except ConfigurationError as exc:
+        print(exc)
         return 2
-    for name in selected:
-        started = time.time()
-        result = runners[name]()
-        elapsed = time.time() - started
-        print(result.report())
-        print(f"[{name} completed in {elapsed:.1f}s]\n")
+
+    json_dir = Path(args.json) if args.json is not None else None
+    if json_dir is not None:
+        json_dir.mkdir(parents=True, exist_ok=True)
+    config = ExperimentConfig(seed=args.seed, quick=args.quick)
+    for spec in specs:
+        elapsed = _run_one(spec, config, json_dir)
+        print(f"[{spec.name} completed in {elapsed:.1f}s]\n")
     return 0
 
 

@@ -1,16 +1,123 @@
-"""Shared machinery for the claim-reproduction experiments E1–E10."""
+"""Shared machinery for the claim-reproduction experiments E1–E11."""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
-from repro.core.errors import FlowControlError
+from repro.core.config import NewsWireConfig
+from repro.core.errors import ConfigurationError, FlowControlError
 from repro.core.identifiers import ItemId, ZonePath
-from repro.news.deployment import NewsWireSystem
+from repro.news.deployment import NewsWireSystem, build_newswire
 from repro.news.item import NewsItem
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sinks import TraceSink
 from repro.workloads.populations import InterestModel
 from repro.workloads.traces import Publication
+
+
+# ----------------------------------------------------------------------
+# Keyword validation shared by every run_eN surface
+# ----------------------------------------------------------------------
+
+def validate_positive(name: str, value) -> None:
+    """``value`` must be a positive number."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool) or value <= 0:
+        raise ConfigurationError(f"{name} must be a positive number, got {value!r}")
+
+
+def validate_non_negative(name: str, value) -> None:
+    if not isinstance(value, (int, float)) or isinstance(value, bool) or value < 0:
+        raise ConfigurationError(
+            f"{name} must be a non-negative number, got {value!r}"
+        )
+
+
+def validate_fraction(name: str, value) -> None:
+    if not isinstance(value, (int, float)) or isinstance(value, bool) \
+            or not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value!r}")
+
+
+def validate_sizes(name: str, values) -> None:
+    """A non-empty sequence of positive sizes (population sweeps)."""
+    try:
+        items = list(values)
+    except TypeError:
+        raise ConfigurationError(f"{name} must be a sequence, got {values!r}")
+    if not items:
+        raise ConfigurationError(f"{name} must not be empty")
+    for value in items:
+        validate_positive(f"{name} entry", value)
+
+
+def validate_seed(value) -> None:
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ConfigurationError(f"seed must be an int, got {value!r}")
+
+
+# ----------------------------------------------------------------------
+# Standard system construction
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """Declarative description of a standard experiment deployment.
+
+    ``seed`` drives the simulation RNG streams; ``interest_seed``
+    (default: same as ``seed``) drives the subscription population, so
+    sweeps that vary the deployment seed per size while keeping the
+    interest distribution fixed (E2's ``seed + num_nodes`` pattern)
+    stay byte-identical to their historical form.
+    """
+
+    num_nodes: int
+    subjects: Sequence[str]
+    subscriptions_per_node: int = 3
+    seed: int = 0
+    interest_seed: Optional[int] = None
+    publisher_names: Sequence[str] = ("newswire",)
+    publisher_rate: float = 50.0
+    config: Optional[NewsWireConfig] = None
+    sinks: Optional[Sequence[TraceSink]] = field(default=None, compare=False)
+    metrics: Optional[MetricsRegistry] = field(default=None, compare=False)
+
+    def validate(self) -> "SystemSpec":
+        validate_positive("num_nodes", self.num_nodes)
+        if not list(self.subjects):
+            raise ConfigurationError("subjects must not be empty")
+        validate_positive("subscriptions_per_node", self.subscriptions_per_node)
+        validate_positive("publisher_rate", self.publisher_rate)
+        validate_seed(self.seed)
+        if self.interest_seed is not None:
+            validate_seed(self.interest_seed)
+        return self
+
+
+def build_system(spec: SystemSpec) -> tuple[NewsWireSystem, InterestModel]:
+    """Stand up the standard NewsWire deployment a ``SystemSpec`` describes.
+
+    Returns the running system and the interest model used to seed
+    subscriptions (experiments need it for expected-delivery counts).
+    """
+    spec.validate()
+    interest_seed = spec.interest_seed if spec.interest_seed is not None else spec.seed
+    interests = InterestModel(
+        subjects=spec.subjects,
+        subscriptions_per_node=spec.subscriptions_per_node,
+        seed=interest_seed,
+    )
+    system = build_newswire(
+        spec.num_nodes,
+        spec.config if spec.config is not None else NewsWireConfig(),
+        publisher_names=tuple(spec.publisher_names),
+        publisher_rate=spec.publisher_rate,
+        subscriptions_for=interests.subscriptions_for,
+        seed=spec.seed,
+        sinks=spec.sinks,
+        metrics=spec.metrics,
+    )
+    return system, interests
 
 #: Average English word length + space, for body size synthesis.
 WORD = "lorem "

@@ -20,12 +20,17 @@ zones).  Measured:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Sequence
 
 from repro.core.config import NewsWireConfig
 from repro.core.identifiers import ZonePath
 from repro.metrics.report import format_table
 from repro.news.deployment import build_newswire
 from repro.pubsub.subscription import Subscription
+from repro.experiments.common import validate_positive, validate_seed
+from repro.experiments.registry import register
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sinks import TraceSink
 
 
 @dataclass(frozen=True)
@@ -53,7 +58,23 @@ class E10Result:
         )
 
 
-def run_e10(num_nodes: int = 240, seed: int = 0) -> E10Result:
+@register(
+    "e10",
+    claim=(
+        '"A publisher is able to restrict the scope of the dissemination '
+        'of the data" — scoped publishing and predicates'
+    ),
+    quick={"num_nodes": 120},
+)
+def run_e10(
+    *,
+    num_nodes: int = 240,
+    seed: int = 0,
+    sinks: Optional[Sequence[TraceSink]] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> E10Result:
+    validate_positive("num_nodes", num_nodes)
+    validate_seed(seed)
     subject = "reuters/world"
     config = NewsWireConfig(branching_factor=16)
 
@@ -74,6 +95,8 @@ def run_e10(num_nodes: int = 240, seed: int = 0) -> E10Result:
         publisher_rate=50.0,
         subscriptions_for=subscriptions,
         seed=seed,
+        sinks=sinks,
+        metrics=metrics,
     )
     system.run_for(2 * config.gossip.interval)
     publisher = system.publisher("reuters")

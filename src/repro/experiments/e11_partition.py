@@ -24,6 +24,12 @@ from repro.core.config import GossipConfig, MulticastConfig, NewsWireConfig
 from repro.metrics.report import format_table
 from repro.news.deployment import build_newswire
 from repro.pubsub.subscription import Subscription
+from repro.experiments.common import (
+    validate_positive,
+    validate_seed,
+    validate_sizes,
+)
+from repro.experiments.registry import register
 
 SUBJECT = "reuters/world"
 
@@ -64,13 +70,28 @@ class E11Result:
         )
 
 
+@register(
+    "e11",
+    claim=(
+        '"epidemic communication techniques guarantee that the state '
+        'represented is eventually consistent" — partition healing'
+    ),
+    quick={"num_nodes": 80, "durations": (20.0,),
+           "buffer_capacities": (16, 256)},
+)
 def run_e11(
+    *,
     num_nodes: int = 120,
     durations: Sequence[float] = (20.0, 120.0),
     buffer_capacities: Sequence[int] = (16, 256),
     publish_interval: float = 4.0,
     seed: int = 0,
 ) -> E11Result:
+    validate_positive("num_nodes", num_nodes)
+    validate_sizes("durations", durations)
+    validate_sizes("buffer_capacities", buffer_capacities)
+    validate_positive("publish_interval", publish_interval)
+    validate_seed(seed)
     rows: list[E11Row] = []
     for duration in durations:
         for capacity in buffer_capacities:

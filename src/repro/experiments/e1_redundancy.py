@@ -22,7 +22,13 @@ from repro.sim.engine import Simulation
 from repro.sim.network import FixedLatency, Network
 from repro.baselines.origin import OriginServer
 from repro.baselines.pull import PullClient
-from repro.experiments.common import item_from_publication
+from repro.experiments.common import (
+    item_from_publication,
+    validate_positive,
+    validate_seed,
+    validate_sizes,
+)
+from repro.experiments.registry import register
 from repro.metrics.report import format_table
 from repro.workloads.traces import DAY, diurnal_trace
 
@@ -72,7 +78,16 @@ class E1Result:
         raise KeyError((mode, visits_per_day))
 
 
+@register(
+    "e1",
+    claim=(
+        '"a consumer who returns 4 times during a day receives about 70% '
+        'redundant data" — waste of the pull model'
+    ),
+    quick={"days": 1.0},
+)
 def run_e1(
+    *,
     items_per_day: float = 25.0,
     days: float = 2.0,
     page_items: int = 20,
@@ -80,6 +95,11 @@ def run_e1(
     modes: Sequence[str] = ("full", "cond", "delta", "rss"),
     seed: int = 0,
 ) -> E1Result:
+    validate_positive("items_per_day", items_per_day)
+    validate_positive("days", days)
+    validate_positive("page_items", page_items)
+    validate_sizes("visits_per_day", visits_per_day)
+    validate_seed(seed)
     sim = Simulation(seed=seed)
     network = Network(sim, latency=FixedLatency(0.05))
     origin = OriginServer(

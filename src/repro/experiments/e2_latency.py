@@ -20,15 +20,25 @@ tens of seconds to converge (that path is measured separately in E6).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.core.config import NewsWireConfig
-from repro.experiments.common import drive_trace, expected_deliveries
-from repro.metrics.collectors import delivery_latencies, delivery_ratio
+from repro.experiments.common import (
+    SystemSpec,
+    build_system,
+    drive_trace,
+    expected_deliveries,
+    validate_non_negative,
+    validate_positive,
+    validate_seed,
+    validate_sizes,
+)
+from repro.experiments.registry import register
+from repro.metrics.collectors import collect_delivery_stats, delivery_ratio
 from repro.metrics.report import format_table
 from repro.metrics.stats import Summary
-from repro.news.deployment import build_newswire
-from repro.workloads.populations import InterestModel
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sinks import TraceSink
 from repro.workloads.scenarios import TECH_CATEGORIES, subjects_for
 from repro.workloads.traces import Publication
 
@@ -72,7 +82,17 @@ class E2Result:
         )
 
 
+@register(
+    "e2",
+    claim=(
+        '"deliver news updates to hundreds of thousands of subscribers '
+        'within tens of seconds of the moment of publishing" — latency '
+        "vs population size"
+    ),
+    quick={"sizes": (100, 400), "items": 3},
+)
 def run_e2(
+    *,
     sizes: Sequence[int] = (100, 500, 2000),
     items: int = 5,
     item_spacing: float = 1.0,
@@ -80,24 +100,36 @@ def run_e2(
     settle_rounds: float = 3.0,
     drain_time: float = 30.0,
     seed: int = 0,
-    config: NewsWireConfig = None,
+    config: Optional[NewsWireConfig] = None,
+    sinks: Optional[Sequence[TraceSink]] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> E2Result:
+    validate_sizes("sizes", sizes)
+    validate_positive("items", items)
+    validate_positive("item_spacing", item_spacing)
+    validate_positive("subscriptions_per_node", subscriptions_per_node)
+    validate_non_negative("settle_rounds", settle_rounds)
+    validate_non_negative("drain_time", drain_time)
+    validate_seed(seed)
     subjects = subjects_for(("newswire",), TECH_CATEGORIES)
     rows: list[E2Row] = []
     for num_nodes in sizes:
         cfg = config if config is not None else NewsWireConfig()
-        interests = InterestModel(
-            subjects=subjects,
-            subscriptions_per_node=subscriptions_per_node,
-            seed=seed,
-        )
-        system = build_newswire(
-            num_nodes,
-            cfg,
-            publisher_names=("newswire",),
-            publisher_rate=50.0,
-            subscriptions_for=interests.subscriptions_for,
-            seed=seed + num_nodes,
+        # The per-size deployment seed varies while the interest seed
+        # stays fixed — the historical (golden-fingerprinted) pattern.
+        system, interests = build_system(
+            SystemSpec(
+                num_nodes=num_nodes,
+                subjects=subjects,
+                subscriptions_per_node=subscriptions_per_node,
+                seed=seed + num_nodes,
+                interest_seed=seed,
+                publisher_names=("newswire",),
+                publisher_rate=50.0,
+                config=cfg,
+                sinks=sinks,
+                metrics=metrics,
+            )
         )
         system.run_for(settle_rounds * cfg.gossip.interval)
         start = system.sim.now
@@ -114,15 +146,17 @@ def run_e2(
         system.sim.run_until(start + items * item_spacing + drain_time)
 
         expected = expected_deliveries(interests, num_nodes, trace, "newswire")
-        latencies = delivery_latencies(system.trace)
+        # One shared trace pass: latencies, per-item counts and the
+        # delivery ratio all come out of the same scan.
+        stats = collect_delivery_stats(system.trace)
         rows.append(
             E2Row(
                 num_nodes=num_nodes,
                 items=items,
                 expected=sum(expected.values()),
                 delivered=system.trace.count("deliver"),
-                ratio=delivery_ratio(system.trace, expected),
-                latency=Summary.of(latencies),
+                ratio=delivery_ratio(system.trace, expected, stats=stats),
+                latency=stats.summary,
             )
         )
     return E2Result(rows)

@@ -37,7 +37,14 @@ from repro.sim.trace import TraceLog
 from repro.baselines.direct_push import PushOrigin, PushSubscriber
 from repro.baselines.origin import OriginServer
 from repro.baselines.pull import PullClient
-from repro.experiments.common import drive_trace, item_from_publication
+from repro.experiments.common import (
+    drive_trace,
+    item_from_publication,
+    validate_positive,
+    validate_seed,
+    validate_sizes,
+)
+from repro.experiments.registry import register
 from repro.metrics.report import format_table
 from repro.metrics.stats import Summary
 from repro.news.deployment import build_newswire
@@ -265,11 +272,23 @@ def _run_newswire(
     )
 
 
+@register(
+    "e3",
+    claim=(
+        '"The system significantly reduces the compute and network load '
+        'at the publishers" vs direct one-to-many push'
+    ),
+    quick={"sizes": (100, 400), "items": 5},
+)
 def run_e3(
+    *,
     sizes: Sequence[int] = (100, 500, 2000),
     items: int = 10,
     seed: int = 0,
 ) -> E3Result:
+    validate_sizes("sizes", sizes)
+    validate_positive("items", items)
+    validate_seed(seed)
     subjects = subjects_for(("newswire",), TECH_CATEGORIES)
     rows: list[E3Row] = []
     for num_subscribers in sizes:

@@ -31,8 +31,14 @@ from repro.sim.network import HierarchicalLatency, Network
 from repro.sim.trace import TraceLog
 from repro.baselines.origin import OriginServer
 from repro.baselines.pull import PullClient
-from repro.experiments.common import drive_trace, item_from_publication
-from repro.metrics.collectors import delivery_ratio
+from repro.experiments.common import (
+    drive_trace,
+    item_from_publication,
+    validate_positive,
+    validate_seed,
+)
+from repro.experiments.registry import register
+from repro.metrics.collectors import collect_delivery_stats, delivery_ratio
 from repro.metrics.report import format_table
 from repro.metrics.stats import Summary
 from repro.news.deployment import build_newswire
@@ -170,23 +176,35 @@ def _run_newswire_under_flood(
     expected = {
         f"reuters:{serial}.r0": num_nodes for serial in range(1, items + 1)
     }
-    latencies = [e["latency"] for e in system.trace.events("deliver")]
+    stats = collect_delivery_stats(system.trace)
     row = E4Row(
         system="newswire" + ("+pubcrash" if crash_publisher_after_burst else ""),
         flood_rate=flood_rate,
         served_ratio=1.0,  # consumers never request anything from the publisher
-        delivery_ratio=delivery_ratio(system.trace, expected),
-        latency_p90=Summary.of(latencies).p90 if latencies else float("inf"),
+        delivery_ratio=delivery_ratio(system.trace, expected, stats=stats),
+        latency_p90=stats.summary.p90 if stats.summary.count else float("inf"),
     )
     return row, system.trace
 
 
+@register(
+    "e4",
+    claim=(
+        '"guarantees delivery even in the face of publisher overload or '
+        'denial of service attacks"'
+    ),
+    quick={"num_clients": 100, "items": 5, "flood_rates": (0.0, 2000.0)},
+)
 def run_e4(
+    *,
     num_clients: int = 300,
     items: int = 10,
     flood_rates: Sequence[float] = (0.0, 100.0, 1000.0, 5000.0),
     seed: int = 0,
 ) -> E4Result:
+    validate_positive("num_clients", num_clients)
+    validate_positive("items", items)
+    validate_seed(seed)
     rows: list[E4Row] = []
     for flood_rate in flood_rates:
         rows.append(_run_pull_under_flood(num_clients, flood_rate, items, seed)[0])
@@ -216,6 +234,7 @@ class E4Timeline:
 
 
 def run_e4_timeline(
+    *,
     num_clients: int = 300,
     items: int = 10,
     flood_rate: float = 2000.0,
@@ -250,6 +269,7 @@ def run_e4_timeline(
 
 
 def run_e4_physical(
+    *,
     num_nodes: int = 200,
     items: int = 8,
     node_bandwidth: float = 125_000.0,   # ~1 Mbit/s per participant
@@ -288,13 +308,13 @@ def run_e4_physical(
     expected = {
         f"reuters:{serial}.r0": num_nodes for serial in range(1, items + 1)
     }
-    latencies = [e["latency"] for e in system.trace.events("deliver")]
+    stats = collect_delivery_stats(system.trace)
     return E4Row(
         system="newswire(1Mbit links)",
         flood_rate=flood_rate,
         served_ratio=1.0,
-        delivery_ratio=delivery_ratio(system.trace, expected),
-        latency_p90=Summary.of(latencies).p90 if latencies else float("inf"),
+        delivery_ratio=delivery_ratio(system.trace, expected, stats=stats),
+        latency_p90=stats.summary.p90 if stats.summary.count else float("inf"),
     )
 
 

@@ -30,6 +30,8 @@ from repro.metrics.report import format_table
 from repro.pubsub.engine import build_pubsub
 from repro.pubsub.schemes import BloomScheme, PublisherMaskScheme, categories_registry
 from repro.workloads.populations import InterestModel
+from repro.experiments.common import validate_seed
+from repro.experiments.registry import register
 
 
 @dataclass(frozen=True)
@@ -86,6 +88,7 @@ class E5Result:
 
 
 def run_e5_analytic(
+    *,
     bit_sizes: Sequence[int] = (256, 512, 1024, 2048, 4096, 8192),
     subscription_counts: Sequence[int] = (50, 200, 1000, 5000),
     hash_counts: Sequence[int] = (1,),
@@ -126,6 +129,7 @@ def run_e5_analytic(
 
 
 def run_e5_system(
+    *,
     num_nodes: int = 200,
     bit_sizes: Sequence[int] = (64, 256, 1024),
     items_per_subject: int = 1,
@@ -180,7 +184,15 @@ def run_e5_system(
     return rows
 
 
-def run_e5(seed: int = 0) -> E5Result:
+@register(
+    "e5",
+    claim=(
+        '"the accuracy can be made as good as desired by varying the '
+        'size of the bit array" — Bloom-filter sizing'
+    ),
+)
+def run_e5(*, seed: int = 0) -> E5Result:
+    validate_seed(seed)
     return E5Result(
         analytic=run_e5_analytic(seed=seed),
         system=run_e5_system(seed=seed),

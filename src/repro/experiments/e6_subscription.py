@@ -26,6 +26,12 @@ from repro.metrics.report import format_table
 from repro.news.deployment import build_newswire
 from repro.pubsub.subscription import Subscription
 from repro.workloads.scenarios import TECH_CATEGORIES, subjects_for
+from repro.experiments.common import (
+    validate_positive,
+    validate_seed,
+    validate_sizes,
+)
+from repro.experiments.registry import register
 
 
 @dataclass(frozen=True)
@@ -60,12 +66,25 @@ class E6Result:
         )
 
 
+@register(
+    "e6",
+    claim=(
+        '"Eventually (within tens of seconds) the root zone will have all '
+        'the information on ... subscribed" — subscription propagation'
+    ),
+    quick={"sizes": (100,), "gossip_intervals": (2.0,)},
+)
 def run_e6(
+    *,
     sizes: Sequence[int] = (100, 500, 2000),
     gossip_intervals: Sequence[float] = (2.0, 5.0),
     horizon: float = 300.0,
     seed: int = 0,
 ) -> E6Result:
+    validate_sizes("sizes", sizes)
+    validate_sizes("gossip_intervals", gossip_intervals)
+    validate_positive("horizon", horizon)
+    validate_seed(seed)
     base_subjects = subjects_for(("newswire",), TECH_CATEGORIES)
     fresh_subject = "newswire/raresubject"
     rows: list[E6Row] = []

@@ -17,7 +17,14 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.config import MulticastConfig, NewsWireConfig
-from repro.experiments.common import drive_trace
+from repro.experiments.common import (
+    drive_trace,
+    validate_fraction,
+    validate_positive,
+    validate_seed,
+    validate_sizes,
+)
+from repro.experiments.registry import register
 from repro.metrics.collectors import delivery_ratio
 from repro.metrics.report import format_table
 from repro.news.deployment import build_newswire
@@ -58,7 +65,16 @@ class E7Result:
         )
 
 
+@register(
+    "e7",
+    claim=(
+        '"we use multiple representatives to forward a new item, to '
+        'increase the robustness of the delivery" + epidemic repair'
+    ),
+    quick={"num_nodes": 120, "items": 5},
+)
 def run_e7(
+    *,
     num_nodes: int = 300,
     items: int = 10,
     rep_counts: Sequence[int] = (1, 2, 3),
@@ -67,6 +83,12 @@ def run_e7(
     crash_fraction: float = 0.10,
     seed: int = 0,
 ) -> E7Result:
+    validate_positive("num_nodes", num_nodes)
+    validate_positive("items", items)
+    validate_sizes("rep_counts", rep_counts)
+    validate_fraction("loss_rate", loss_rate)
+    validate_fraction("crash_fraction", crash_fraction)
+    validate_seed(seed)
     subjects = subjects_for(("newswire",), TECH_CATEGORIES)
     rows: list[E7Row] = []
     for reps in rep_counts:

@@ -17,7 +17,13 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.config import NewsWireConfig
-from repro.experiments.common import drive_trace
+from repro.experiments.common import (
+    drive_trace,
+    validate_positive,
+    validate_seed,
+    validate_sizes,
+)
+from repro.experiments.registry import register
 from repro.metrics.collectors import delivery_latencies
 from repro.metrics.report import format_table
 from repro.metrics.stats import Summary
@@ -57,13 +63,28 @@ class E8Result:
         )
 
 
+@register(
+    "e8",
+    claim=(
+        '"Each of these tables is limited to some small size (say, 64 '
+        'rows)" — branching-factor ablation'
+    ),
+    quick={"num_nodes": 128, "branchings": (4, 64), "items": 3,
+           "measure_time": 30.0},
+)
 def run_e8(
+    *,
     num_nodes: int = 512,
     branchings: Sequence[int] = (4, 8, 16, 64),
     items: int = 5,
     measure_time: float = 60.0,
     seed: int = 0,
 ) -> E8Result:
+    validate_positive("num_nodes", num_nodes)
+    validate_sizes("branchings", branchings)
+    validate_positive("items", items)
+    validate_positive("measure_time", measure_time)
+    validate_seed(seed)
     subjects = subjects_for(("newswire",), TECH_CATEGORIES)
     rows: list[E8Row] = []
     for branching in branchings:

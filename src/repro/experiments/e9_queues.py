@@ -17,7 +17,12 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.config import MulticastConfig, NewsWireConfig, QUEUE_STRATEGIES
-from repro.experiments.common import drive_trace
+from repro.experiments.common import (
+    drive_trace,
+    validate_positive,
+    validate_seed,
+)
+from repro.experiments.registry import register
 from repro.metrics.report import format_table
 from repro.metrics.stats import Summary
 from repro.news.deployment import build_newswire
@@ -58,13 +63,26 @@ class E9Result:
         )
 
 
+@register(
+    "e9",
+    claim=(
+        '"The best strategy to fill queues is still under research" — '
+        'forwarding-queue strategy comparison'
+    ),
+    quick={"num_nodes": 80, "items": 20},
+)
 def run_e9(
+    *,
     num_nodes: int = 200,
     items: int = 40,
     strategies: Sequence[str] = QUEUE_STRATEGIES,
     send_rate: float = 12.0,
     seed: int = 0,
 ) -> E9Result:
+    validate_positive("num_nodes", num_nodes)
+    validate_positive("items", items)
+    validate_positive("send_rate", send_rate)
+    validate_seed(seed)
     subjects = subjects_for(("newswire",), TECH_CATEGORIES)
     rows: list[E9Row] = []
     for strategy in strategies:

@@ -1,0 +1,148 @@
+"""The unified experiment registry.
+
+Every claim-reproduction experiment registers itself with a
+:func:`register` decorator::
+
+    @register(
+        "e2",
+        claim="deliver news ... within tens of seconds",
+        quick={"sizes": (100, 400), "items": 3},
+    )
+    def run_e2(*, sizes=(100, 500, 2000), ...) -> E2Result: ...
+
+and the CLI (``python -m repro.experiments``) drives them all through
+one uniform protocol: :meth:`ExperimentSpec.run` takes an
+:class:`ExperimentConfig` (seed, quick flag, keyword overrides),
+validates every override against the runner's actual signature —
+unknown keys are a :class:`ConfigurationError`, not a silent typo —
+and returns the experiment's ``*Result`` object (which always carries
+a ``report()`` method).
+
+Quick-mode parameters live on the spec itself instead of a parallel
+table of lambdas, so ``--quick`` and ``--list`` can never drift out of
+sync with the experiments.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional
+
+from repro.core.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """What a caller asks of an experiment: seed, scale, overrides."""
+
+    seed: Optional[int] = None
+    quick: bool = False
+    overrides: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment: runner, claim, quick-mode parameters."""
+
+    name: str
+    claim: str
+    runner: Callable[..., Any]
+    quick_params: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def parameters(self) -> tuple[str, ...]:
+        """Keyword parameters the runner accepts."""
+        return tuple(inspect.signature(self.runner).parameters)
+
+    def build_kwargs(self, config: ExperimentConfig) -> Dict[str, Any]:
+        """Merge quick params, overrides and the seed; validate names.
+
+        Precedence (lowest to highest): runner defaults, quick params
+        (only with ``config.quick``), ``config.overrides``,
+        ``config.seed``.
+        """
+        accepted = set(self.parameters)
+        kwargs: Dict[str, Any] = dict(self.quick_params) if config.quick else {}
+        kwargs.update(config.overrides)
+        unknown = sorted(set(kwargs) - accepted)
+        if unknown:
+            raise ConfigurationError(
+                f"experiment {self.name!r} does not accept {unknown}; "
+                f"valid parameters: {sorted(accepted)}"
+            )
+        if config.seed is not None:
+            if "seed" not in accepted:
+                raise ConfigurationError(
+                    f"experiment {self.name!r} takes no seed parameter"
+                )
+            kwargs["seed"] = config.seed
+        return kwargs
+
+    def run(self, config: Optional[ExperimentConfig] = None) -> Any:
+        """Execute the experiment; returns its ``*Result`` object."""
+        resolved = config if config is not None else ExperimentConfig()
+        return self.runner(**self.build_kwargs(resolved))
+
+
+#: name -> spec, in registration (numeric) order.
+REGISTRY: Dict[str, ExperimentSpec] = {}
+
+
+def register(
+    name: str,
+    *,
+    claim: str,
+    quick: Optional[Mapping[str, Any]] = None,
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Decorator that registers the wrapped runner as experiment ``name``.
+
+    ``claim`` is the paper claim the experiment reproduces (shown by
+    ``--list``); ``quick`` holds the reduced-scale keyword arguments
+    ``--quick`` applies.  Quick keys are validated against the runner
+    signature at registration time, so a drifting rename fails at
+    import, not mid-run.
+    """
+
+    def decorator(fn: Callable[..., Any]) -> Callable[..., Any]:
+        if name in REGISTRY:
+            raise ConfigurationError(f"experiment {name!r} registered twice")
+        quick_params = dict(quick or {})
+        accepted = set(inspect.signature(fn).parameters)
+        unknown = sorted(set(quick_params) - accepted)
+        if unknown:
+            raise ConfigurationError(
+                f"experiment {name!r} quick params {unknown} not in its "
+                f"signature {sorted(accepted)}"
+            )
+        REGISTRY[name] = ExperimentSpec(
+            name=name, claim=claim, runner=fn, quick_params=quick_params
+        )
+        return fn
+
+    return decorator
+
+
+def _ensure_loaded() -> None:
+    """Importing the package runs every ``@register`` decorator."""
+    import repro.experiments  # noqa: F401  (side effect: registration)
+
+
+def get_spec(name: str) -> ExperimentSpec:
+    _ensure_loaded()
+    spec = REGISTRY.get(name)
+    if spec is None:
+        raise ConfigurationError(
+            f"unknown experiment {name!r}; choose from {experiment_names()}"
+        )
+    return spec
+
+
+def experiment_names() -> list[str]:
+    _ensure_loaded()
+    return list(REGISTRY)
+
+
+def all_specs() -> list[ExperimentSpec]:
+    _ensure_loaded()
+    return list(REGISTRY.values())

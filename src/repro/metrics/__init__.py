@@ -1,7 +1,9 @@
 """Metrics: latency/ratio collectors, summaries, table/series output."""
 
 from repro.metrics.collectors import (
+    DeliveryStats,
     NodeLoad,
+    collect_delivery_stats,
     deliveries_per_item,
     delivery_latencies,
     delivery_ratio,
@@ -26,6 +28,7 @@ from repro.metrics.timeline import (
 )
 
 __all__ = [
+    "DeliveryStats",
     "NodeLoad",
     "Summary",
     "TimeBucket",
@@ -34,6 +37,7 @@ __all__ = [
     "rate_series",
     "sparkline",
     "cdf_points",
+    "collect_delivery_stats",
     "deliveries_per_item",
     "delivery_latencies",
     "delivery_ratio",

@@ -60,6 +60,12 @@ class MulticastNode(AstrolabeAgent):
     ):
         super().__init__(node_id, sim, network, config, keychain, trace)
         mc = config.multicast
+        metrics = self.trace.metrics
+        self._m_forwards = metrics.counter("multicast.forwards")
+        self._m_delivers = metrics.counter("multicast.delivers")
+        self._m_duplicates = metrics.counter("multicast.duplicates")
+        self._m_repair_digests = metrics.counter("repair.digests")
+        self._m_repair_pulls = metrics.counter("repair.pulled")
         self.queues = ForwardingQueues(self, mc)
         #: (item_key, zone) pairs already disseminated — §9's duplicate
         #: removal for redundant-representative forwarding.
@@ -131,6 +137,7 @@ class MulticastNode(AstrolabeAgent):
     def _disseminate(self, zone: ZonePath, envelope: Envelope) -> None:
         """Handle an envelope addressed to ``zone`` (we are a member)."""
         if not self._seen.add((envelope.item_key, zone), None):
+            self._m_duplicates.inc()
             self.trace.record(
                 "dup-dropped", zone=str(zone), item=str(envelope.item_key)
             )
@@ -175,6 +182,7 @@ class MulticastNode(AstrolabeAgent):
         targets = self._mc_rng.sample(list(contacts), count)
         weight = float(row.get("nmembers", 1) or 1)
         for target in targets:
+            self._m_forwards.inc()
             self.trace.record(
                 "forward",
                 zone=str(child),
@@ -205,7 +213,8 @@ class MulticastNode(AstrolabeAgent):
             except Exception:
                 # A malformed predicate must not break dissemination;
                 # fail open and let leaf-level filters decide.
-                predicate = lambda mapping: True
+                def predicate(mapping):
+                    return True
             if len(MulticastNode._predicate_cache) > 256:
                 MulticastNode._predicate_cache.clear()
             MulticastNode._predicate_cache[source] = predicate
@@ -260,6 +269,7 @@ class MulticastNode(AstrolabeAgent):
             )
             return
         if self.delivered.add(envelope.item_key, envelope):
+            self._m_delivers.inc()
             self.trace.record(
                 "deliver",
                 node=str(self.node_id),
@@ -335,6 +345,7 @@ class MulticastNode(AstrolabeAgent):
             for key, env in ((k, self.delivered.get(k)) for k in self.delivered.digest())
             if env is not None
         )
+        self._m_repair_digests.inc()
         self.trace.record("repair-digest", to=str(partner), entries=len(entries))
         self.send(partner, RepairDigest(entries))
 
@@ -379,5 +390,6 @@ class MulticastNode(AstrolabeAgent):
     def _handle_repair_response(self, message: RepairResponse) -> None:
         for envelope in message.envelopes:
             if envelope.item_key not in self.delivered:
+                self._m_repair_pulls.inc()
                 self.trace.record("repair-delivered", item=str(envelope.item_key))
                 self._deliver(envelope)

@@ -32,6 +32,7 @@ from typing import Any, Callable, Deque, Dict, Optional
 from repro.core.config import MulticastConfig
 from repro.core.errors import ConfigurationError
 from repro.core.identifiers import NodeId
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.node import Process
 
 
@@ -71,6 +72,15 @@ class ForwardingQueues:
         self.node = node
         self.config = config
         self.stats = QueueStats()
+        # Deployment-wide queue instruments; a bare Process (tests,
+        # standalone use) has no trace, so fall back to a private
+        # registry rather than branching on every enqueue/send.
+        trace = getattr(node, "trace", None)
+        metrics = trace.metrics if trace is not None else MetricsRegistry()
+        self._m_enqueued = metrics.counter("queue.enqueued")
+        self._m_sent = metrics.counter("queue.sent")
+        self._m_dropped = metrics.counter("queue.dropped_on_crash")
+        self._m_depth = metrics.gauge("queue.depth")
         self._send = send_fn if send_fn is not None else node.send
         self._strategy = config.queue_strategy
         self._seq = 0
@@ -122,6 +132,8 @@ class ForwardingQueues:
         self._backlog += 1
         self.stats.enqueued += 1
         self.stats.max_backlog = max(self.stats.max_backlog, self._backlog)
+        self._m_enqueued.inc()
+        self._m_depth.add(1)
         self._ensure_draining(first=True)
 
     # -- drain --------------------------------------------------------------
@@ -142,6 +154,8 @@ class ForwardingQueues:
             self._backlog -= 1
             self.stats.sent += 1
             self.stats.total_wait += self.node.sim.now - pending.enqueued_at
+            self._m_sent.inc()
+            self._m_depth.add(-1)
             self._send(pending.target, pending.message)
         if self._backlog > 0:
             self._draining = True
@@ -195,6 +209,8 @@ class ForwardingQueues:
         self._backlog = 0
         self._draining = False
         self.stats.dropped_on_crash += dropped
+        self._m_dropped.inc(dropped)
+        self._m_depth.add(-dropped)
         return dropped
 
     @property

@@ -7,6 +7,8 @@ from typing import Callable, Dict, Optional, Sequence
 
 from repro.core.config import NewsWireConfig
 from repro.core.identifiers import ZonePath
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sinks import TraceSink
 from repro.sim.network import LatencyModel
 from repro.astrolabe.certificates import PublisherCertificate
 from repro.astrolabe.deployment import ADMIN_PRINCIPAL, AstrolabeDeployment
@@ -41,6 +43,10 @@ class NewsWireSystem:
     @property
     def trace(self):
         return self.deployment.trace
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self.deployment.trace.metrics
 
     @property
     def nodes(self) -> list[NewsWireNode]:
@@ -94,6 +100,8 @@ def build_newswire(
     bandwidth: Optional[float] = None,
     ingress_bandwidth: Optional[float] = None,
     trace_kinds: Optional[set[str]] = None,
+    sinks: Optional[Sequence[TraceSink]] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> NewsWireSystem:
     """Stand up a NewsWire with ``num_nodes`` participants.
 
@@ -115,6 +123,8 @@ def build_newswire(
         trace_kinds=(
             trace_kinds if trace_kinds is not None else set(NEWSWIRE_TRACE_KINDS)
         ),
+        sinks=sinks,
+        metrics=metrics,
         node_class=NewsWireNode,
     )
     system = NewsWireSystem(deployment, {})

@@ -66,6 +66,11 @@ class NewsWireNode(PubSubNode):
     ):
         super().__init__(node_id, sim, network, config, keychain, trace, scheme)
         self.cache = MessageCache(config.cache)
+        metrics = self.trace.metrics
+        self._m_flow_control = metrics.counter("news.flow_control_rejects")
+        self._m_auth_rejects = metrics.counter("news.auth_rejects")
+        self._m_state_transfers = metrics.counter("news.state_transfer_items")
+        self._m_cache_items = metrics.gauge("news.cache_items")
         self._credential: Optional[PublisherCertificate] = None
         self._publisher_secret: Optional[bytes] = None
         self._bucket: Optional[_TokenBucket] = None
@@ -78,6 +83,9 @@ class NewsWireNode(PubSubNode):
 
     def _cache_gc(self) -> None:
         self.cache.gc(self.sim.now)
+        # Sampled at GC time: the deployment-wide gauge remembers the
+        # largest per-node cache seen (high-water mark of §9's cache).
+        self._m_cache_items.set(len(self.cache))
 
     # ------------------------------------------------------------------
     # Publisher role (§8)
@@ -184,6 +192,7 @@ class NewsWireNode(PubSubNode):
                 )
             assert self._bucket is not None
             if not self._bucket.try_take(self.sim.now):
+                self._m_flow_control.inc()
                 self.trace.record(
                     "flow-control", publisher=item.publisher, item=str(item.item_id)
                 )
@@ -213,6 +222,7 @@ class NewsWireNode(PubSubNode):
         if not isinstance(payload, NewsItem):
             return
         if not self._authentic(payload):
+            self._m_auth_rejects.inc()
             self.trace.record(
                 "auth-rejected", node=str(self.node_id), item=str(payload.item_id)
             )
@@ -264,6 +274,7 @@ class NewsWireNode(PubSubNode):
     def _handle_state_response(self, message: StateTransferResponse) -> None:
         for item in message.items:
             if self._authentic(item) and self.cache.insert(item, self.sim.now):
+                self._m_state_transfers.inc()
                 self.trace.record(
                     "state-transfer", node=str(self.node_id), item=str(item.item_id)
                 )

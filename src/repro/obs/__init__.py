@@ -1,0 +1,51 @@
+"""Streaming observability: sinks, metrics and run manifests.
+
+The subsystem has three pieces (see ``docs/OBSERVABILITY.md``):
+
+* **Sinks** (:mod:`repro.obs.sinks`) — where trace events go.  The
+  :class:`~repro.sim.trace.TraceLog` is a fan-out dispatcher over a
+  list of :class:`TraceSink` implementations; the default
+  :class:`MemorySink` reproduces the historical append-everything
+  behaviour, :class:`StreamingSink` folds events into bounded-memory
+  aggregates, :class:`JsonlFileSink` writes offline artifacts.
+* **Metrics** (:mod:`repro.obs.metrics`) — counters/gauges/histograms
+  the protocol layers register once and bump inline (gossip rounds,
+  anti-entropy delta bytes, Bloom tests and hits, queue depths).
+* **Manifests** (:mod:`repro.obs.manifest`) — the per-run provenance
+  artifact (seed, config, git revision, wall time, metric snapshot).
+"""
+
+from repro.obs.manifest import RunManifest, git_revision
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramData,
+    MetricsRegistry,
+)
+from repro.obs.probes import probe_queue_depths
+from repro.obs.sinks import (
+    JsonlFileSink,
+    MemorySink,
+    StreamingSink,
+    TraceEvent,
+    TraceSink,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "HistogramData",
+    "JsonlFileSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "RunManifest",
+    "StreamingSink",
+    "TraceEvent",
+    "TraceSink",
+    "git_revision",
+    "probe_queue_depths",
+]

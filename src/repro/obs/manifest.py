@@ -1,0 +1,142 @@
+"""Run manifests: the provenance record written next to experiment output.
+
+A :class:`RunManifest` captures everything needed to reproduce or audit
+one experiment run — the seed, the effective configuration, the source
+revision, wall-clock cost and a metrics snapshot — in one JSON file.
+``python -m repro.experiments --json DIR`` writes one per experiment.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Union
+
+#: Manifest schema version — bump when fields change meaning.
+MANIFEST_VERSION = 1
+
+
+def git_revision(cwd: Optional[Union[str, Path]] = None) -> Optional[str]:
+    """The current git commit hash, or None outside a repo / without git."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+            cwd=str(cwd) if cwd is not None else None,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    rev = proc.stdout.strip()
+    return rev if proc.returncode == 0 and rev else None
+
+
+def _jsonable(value: Any) -> Any:
+    """Fold dataclasses and exotic scalars into JSON-native shapes."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {k: _jsonable(v) for k, v in dataclasses.asdict(value).items()}
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+@dataclass
+class RunManifest:
+    """Provenance + outcome summary of one experiment run."""
+
+    experiment: str
+    seed: int
+    quick: bool = False
+    config: Dict[str, Any] = field(default_factory=dict)
+    git_rev: Optional[str] = None
+    started_at: str = ""
+    wall_time_s: float = 0.0
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    extra: Dict[str, Any] = field(default_factory=dict)
+    version: int = MANIFEST_VERSION
+
+    @classmethod
+    def start(
+        cls,
+        experiment: str,
+        *,
+        seed: int,
+        quick: bool = False,
+        config: Optional[Mapping[str, Any]] = None,
+    ) -> "RunManifest":
+        """Open a manifest before the run; ``finish()`` stamps the cost."""
+        manifest = cls(
+            experiment=experiment,
+            seed=seed,
+            quick=quick,
+            config=dict(config or {}),
+            git_rev=git_revision(),
+            started_at=time.strftime("%Y-%m-%dT%H:%M:%S%z", time.localtime()),
+        )
+        manifest._clock_start = time.perf_counter()
+        return manifest
+
+    def finish(
+        self,
+        *,
+        metrics: Optional[Mapping[str, Any]] = None,
+        **extra: Any,
+    ) -> "RunManifest":
+        """Record wall time, the metric snapshot and result extras."""
+        started = getattr(self, "_clock_start", None)
+        if started is not None:
+            self.wall_time_s = time.perf_counter() - started
+        if metrics is not None:
+            self.metrics = dict(metrics)
+        self.extra.update(extra)
+        return self
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "version": self.version,
+            "experiment": self.experiment,
+            "seed": self.seed,
+            "quick": self.quick,
+            "config": _jsonable(self.config),
+            "git_rev": self.git_rev,
+            "started_at": self.started_at,
+            "wall_time_s": self.wall_time_s,
+            "metrics": _jsonable(self.metrics),
+            "extra": _jsonable(self.extra),
+        }
+
+    def write(self, path: Union[str, Path]) -> Path:
+        """Write the manifest as pretty-printed JSON; returns the path."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            json.dumps(self.as_dict(), indent=2, sort_keys=False, default=str)
+            + "\n",
+            encoding="utf-8",
+        )
+        return target
+
+    @classmethod
+    def read(cls, path: Union[str, Path]) -> "RunManifest":
+        raw = json.loads(Path(path).read_text(encoding="utf-8"))
+        return cls(
+            experiment=raw.get("experiment", ""),
+            seed=raw.get("seed", 0),
+            quick=raw.get("quick", False),
+            config=raw.get("config", {}),
+            git_rev=raw.get("git_rev"),
+            started_at=raw.get("started_at", ""),
+            wall_time_s=raw.get("wall_time_s", 0.0),
+            metrics=raw.get("metrics", {}),
+            extra=raw.get("extra", {}),
+            version=raw.get("version", MANIFEST_VERSION),
+        )

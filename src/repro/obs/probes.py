@@ -1,0 +1,51 @@
+"""Periodic probes: metrics that must be *sampled*, not counted.
+
+Queue depth is the canonical example — it is a level, not a flow, so
+the registry needs a periodic reading.  Probes schedule real
+simulation events, which shifts event sequence numbers for everything
+scheduled afterwards; a probe-enabled run is therefore its own
+deterministic universe, not byte-identical to a probe-free one.  For
+that reason nothing enables probes by default: experiments that want
+queue-fill series opt in explicitly (E9 reads queue stats directly and
+does not need them).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.errors import ConfigurationError
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+#: Depth-histogram bucket bounds: queue fills are small integers.
+DEPTH_BUCKETS: tuple[float, ...] = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+def probe_queue_depths(
+    sim,
+    nodes: Sequence,
+    metrics: MetricsRegistry,
+    interval: float = 1.0,
+    until: Optional[float] = None,
+    name: str = "queue.depth_probe",
+):
+    """Sample every node's forwarding-queue backlog each ``interval``.
+
+    ``nodes`` are multicast-capable processes (anything with a
+    ``queues.backlog`` reading); crashed nodes are skipped.  Returns the
+    :class:`~repro.sim.engine.PeriodicEvent` so callers can cancel it.
+    """
+    if interval <= 0:
+        raise ConfigurationError("probe interval must be positive")
+    histogram: Histogram = metrics.histogram(name, bounds=DEPTH_BUCKETS)
+
+    def sample() -> None:
+        for node in nodes:
+            if getattr(node, "crashed", False):
+                continue
+            queues = getattr(node, "queues", None)
+            if queues is None:
+                continue
+            histogram.observe(float(queues.backlog))
+
+    return sim.call_every(interval, sample, until=until)

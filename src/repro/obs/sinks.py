@@ -1,0 +1,242 @@
+"""Pluggable trace sinks: where recorded milestones go.
+
+The hot paths call :meth:`repro.sim.trace.TraceLog.record` exactly
+once per milestone; the log fans the record out to every attached
+sink.  Three sinks cover the use cases:
+
+* :class:`MemorySink` — retain every event (the original ``TraceLog``
+  behaviour; exact percentiles, default for tests and small runs);
+* :class:`StreamingSink` — fold events into O(aggregate) state as they
+  happen (bounded memory; what large-population runs use);
+* :class:`JsonlFileSink` — append one JSON line per event for offline
+  analysis.
+
+Sinks receive ``(time, kind, fields)`` and must not raise, block, or
+touch any simulation random stream — a sink that perturbed RNG or
+event order would invalidate every fixed-seed fingerprint.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, IO, Mapping, Optional, Protocol, Sequence, Union
+
+from repro.obs.metrics import DEFAULT_BUCKETS, HistogramData
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded milestone."""
+
+    time: float
+    kind: str
+    fields: tuple[tuple[str, Any], ...]
+
+    def __getitem__(self, key: str) -> Any:
+        for name, value in self.fields:
+            if name == key:
+                return value
+        raise KeyError(key)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        for name, value in self.fields:
+            if name == key:
+                return value
+        return default
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dict(self.fields)
+
+
+class TraceSink(Protocol):
+    """What a :class:`~repro.sim.trace.TraceLog` dispatches to."""
+
+    def emit(self, time: float, kind: str, fields: Mapping[str, Any]) -> None:
+        """Consume one milestone.  Must be cheap and side-effect-local."""
+        ...
+
+    def clear(self) -> None:
+        """Drop accumulated state (between experiment phases)."""
+        ...
+
+    def close(self) -> None:
+        """Release external resources (files); further emits are undefined."""
+        ...
+
+
+class MemorySink:
+    """Retains every event — the exact-answers sink.
+
+    Memory grows linearly with recorded events, which is what caps the
+    population sizes the append-everything design could reach; use
+    :class:`StreamingSink` when the retained list would not fit.
+    """
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def emit(self, time: float, kind: str, fields: Mapping[str, Any]) -> None:
+        self.events.append(TraceEvent(time, kind, tuple(fields.items())))
+
+    @property
+    def retained_events(self) -> int:
+        return len(self.events)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def close(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return f"MemorySink({len(self.events)} events)"
+
+
+class StreamingSink:
+    """Folds events into aggregates as they arrive — bounded memory.
+
+    Retained state is O(kinds + items + nodes + histogram buckets),
+    independent of how many events flow through: a run publishing 10x
+    the items retains the same *event* count (zero) and merely bumps
+    integers.  What it keeps:
+
+    * per-kind event counts;
+    * a latency histogram over ``latency_kind`` events (approximate
+      percentiles, exact count/mean/min/max);
+    * per-item delivery counts (delivery-ratio numerators);
+    * per-node delivery counts and per-target forward counts (the
+      trace-level send/recv view; wire-level byte counters live in
+      :meth:`repro.sim.network.Network.node_stats`).
+    """
+
+    def __init__(
+        self,
+        latency_kind: str = "deliver",
+        forward_kind: str = "forward",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        self.latency_kind = latency_kind
+        self.forward_kind = forward_kind
+        self.counts: Dict[str, int] = {}
+        self.latency = HistogramData(buckets)
+        self.deliveries_per_item: Dict[str, int] = {}
+        self.deliveries_per_node: Dict[str, int] = {}
+        self.forwards_per_target: Dict[str, int] = {}
+        self.first_time: Optional[float] = None
+        self.last_time: Optional[float] = None
+        self.events_seen = 0
+
+    def emit(self, time: float, kind: str, fields: Mapping[str, Any]) -> None:
+        self.events_seen += 1
+        if self.first_time is None:
+            self.first_time = time
+        self.last_time = time
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        if kind == self.latency_kind:
+            latency = fields.get("latency")
+            if latency is not None:
+                self.latency.observe(latency)
+            item = fields.get("item")
+            if item is not None:
+                self.deliveries_per_item[item] = (
+                    self.deliveries_per_item.get(item, 0) + 1
+                )
+            node = fields.get("node")
+            if node is not None:
+                self.deliveries_per_node[node] = (
+                    self.deliveries_per_node.get(node, 0) + 1
+                )
+        elif kind == self.forward_kind:
+            target = fields.get("to")
+            if target is not None:
+                self.forwards_per_target[target] = (
+                    self.forwards_per_target.get(target, 0) + 1
+                )
+
+    @property
+    def retained_events(self) -> int:
+        """Always 0: the streaming sink never keeps an event object."""
+        return 0
+
+    def count(self, kind: str) -> int:
+        return self.counts.get(kind, 0)
+
+    def clear(self) -> None:
+        self.counts.clear()
+        self.latency = HistogramData(self.latency.bounds)
+        self.deliveries_per_item.clear()
+        self.deliveries_per_node.clear()
+        self.forwards_per_target.clear()
+        self.first_time = None
+        self.last_time = None
+        self.events_seen = 0
+
+    def close(self) -> None:
+        pass
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-able aggregate snapshot (manifest / ``--json`` payload)."""
+        return {
+            "events_seen": self.events_seen,
+            "counts": dict(sorted(self.counts.items())),
+            "latency": self.latency.as_dict(),
+            "distinct_items": len(self.deliveries_per_item),
+            "distinct_delivery_nodes": len(self.deliveries_per_node),
+            "first_time": self.first_time,
+            "last_time": self.last_time,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamingSink(events_seen={self.events_seen}, "
+            f"kinds={len(self.counts)}, items={len(self.deliveries_per_item)})"
+        )
+
+
+class JsonlFileSink:
+    """Appends one JSON object per event to a file — the offline artifact.
+
+    Values that are not JSON-native (``ZonePath``, ``ItemId``, tuples of
+    them...) are serialized via ``str``.  The file is line-buffered via
+    the underlying file object; call :meth:`close` (or use the sink as a
+    context manager) to flush.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._file: Optional[IO[str]] = self.path.open("w", encoding="utf-8")
+        self.lines_written = 0
+
+    def emit(self, time: float, kind: str, fields: Mapping[str, Any]) -> None:
+        if self._file is None:
+            return
+        record = {"t": time, "kind": kind}
+        record.update(fields)
+        self._file.write(json.dumps(record, default=str) + "\n")
+        self.lines_written += 1
+
+    @property
+    def retained_events(self) -> int:
+        return 0
+
+    def clear(self) -> None:
+        pass  # already-written lines are an artifact, not state
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "JsonlFileSink":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"JsonlFileSink({self.path}, {self.lines_written} lines)"

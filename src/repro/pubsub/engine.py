@@ -12,6 +12,8 @@ from __future__ import annotations
 from typing import Callable, Optional, Sequence
 
 from repro.core.config import NewsWireConfig
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sinks import TraceSink
 from repro.sim.network import LatencyModel
 from repro.astrolabe.certificates import KeyChain
 from repro.astrolabe.deployment import AstrolabeDeployment, build_astrolabe
@@ -43,6 +45,8 @@ def build_pubsub(
     bandwidth: Optional[float] = None,
     ingress_bandwidth: Optional[float] = None,
     trace_kinds: Optional[set[str]] = None,
+    sinks: Optional[Sequence[TraceSink]] = None,
+    metrics: Optional[MetricsRegistry] = None,
     node_class: type = PubSubNode,
     start: bool = True,
 ) -> AstrolabeDeployment:
@@ -81,6 +85,8 @@ def build_pubsub(
         bandwidth=bandwidth,
         ingress_bandwidth=ingress_bandwidth,
         trace_kinds=trace_kinds if trace_kinds is not None else set(PUBSUB_TRACE_KINDS),
+        sinks=sinks,
+        metrics=metrics,
         agent_class=make_node,  # type: ignore[arg-type]
         extra_certificates=[certificate],
         configure_agent=configure,

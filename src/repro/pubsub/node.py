@@ -65,6 +65,10 @@ class PubSubNode(MulticastNode):
         self.scheme = scheme if scheme is not None else BloomScheme(config.bloom)
         self._subscriptions: list[Subscription] = []
         self._publish_serial = 0
+        metrics = self.trace.metrics
+        self._m_bloom_tests = metrics.counter("bloom.tests")
+        self._m_bloom_hits = metrics.counter("bloom.hits")
+        self._m_publishes = metrics.counter("pubsub.publishes")
         self.set_attributes(
             {"publishers": (), **self.scheme.leaf_attributes(())}
         )
@@ -138,6 +142,7 @@ class PubSubNode(MulticastNode):
             scope=target,
             zone_predicate=zone_predicate,
         )
+        self._m_publishes.inc()
         self.trace.record(
             "publish", node=str(self.node_id), subject=subject, item=str(item_key)
         )
@@ -156,7 +161,11 @@ class PubSubNode(MulticastNode):
     # ------------------------------------------------------------------
 
     def forward_filter(self, child: ZonePath, row: Row, envelope: Envelope) -> bool:
-        return self.scheme.zone_may_match(row.mapping, envelope.hints)
+        self._m_bloom_tests.inc()
+        matched = self.scheme.zone_may_match(row.mapping, envelope.hints)
+        if matched:
+            self._m_bloom_hits.inc()
+        return matched
 
     def accept(self, envelope: Envelope) -> bool:
         if not self._subscriptions:

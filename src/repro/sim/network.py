@@ -17,7 +17,7 @@ the zone hierarchy tracks network locality.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Optional, Protocol, Sequence
 
 from repro.core.errors import NetworkError

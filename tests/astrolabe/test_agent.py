@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.config import GossipConfig, NewsWireConfig
+from repro.core.config import NewsWireConfig
 from repro.core.errors import CertificateError, ZoneError
 from repro.core.identifiers import ZonePath
 from repro.astrolabe.agent import AstrolabeAgent

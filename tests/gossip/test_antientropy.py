@@ -1,6 +1,5 @@
 """Tests for versioned-store anti-entropy (the convergence engine)."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.gossip.antientropy import Entry, VersionedStore

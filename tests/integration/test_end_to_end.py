@@ -7,9 +7,7 @@ from repro.core.config import (
     MulticastConfig,
     NewsWireConfig,
 )
-from repro.core.identifiers import ZonePath
 from repro.news.deployment import build_newswire
-from repro.news.feeds import FeedAgent, FeedEntry, SyntheticFeed
 from repro.pubsub.subscription import Subscription
 from repro.workloads.populations import InterestModel
 from repro.workloads.scenarios import tech_news_scenario

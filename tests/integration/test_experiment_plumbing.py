@@ -1,16 +1,31 @@
 """Tests for the experiment helpers and the runner registry."""
 
+import json
+
 import pytest
 
 from repro.core.config import NewsWireConfig
+from repro.core.errors import ConfigurationError
 from repro.core.identifiers import ItemId
+from repro.experiments import (
+    ExperimentConfig,
+    all_specs,
+    experiment_names,
+    get_spec,
+)
 from repro.experiments.common import (
+    SystemSpec,
     body_text,
+    build_system,
     drive_trace,
     expected_deliveries,
     item_from_publication,
+    validate_fraction,
+    validate_positive,
+    validate_seed,
+    validate_sizes,
 )
-from repro.experiments.__main__ import FULL, QUICK, main
+from repro.experiments.__main__ import main
 from repro.news.deployment import build_newswire
 from repro.pubsub.subscription import Subscription
 from repro.workloads.populations import InterestModel
@@ -67,15 +82,110 @@ class TestCommonHelpers:
         assert stats.flow_controlled == 4
 
 
+class TestValidationHelpers:
+    def test_validate_positive_rejects_zero_and_bool(self):
+        validate_positive("x", 3)
+        with pytest.raises(ConfigurationError):
+            validate_positive("x", 0)
+        with pytest.raises(ConfigurationError):
+            validate_positive("x", True)
+
+    def test_validate_fraction_bounds(self):
+        validate_fraction("f", 0.0)
+        validate_fraction("f", 1.0)
+        with pytest.raises(ConfigurationError):
+            validate_fraction("f", 1.5)
+
+    def test_validate_sizes_rejects_empty_and_nonpositive(self):
+        validate_sizes("sizes", (10, 20))
+        with pytest.raises(ConfigurationError):
+            validate_sizes("sizes", ())
+        with pytest.raises(ConfigurationError):
+            validate_sizes("sizes", (10, -1))
+
+    def test_validate_seed_rejects_non_int(self):
+        validate_seed(7)
+        with pytest.raises(ConfigurationError):
+            validate_seed("7")
+
+
+class TestBuildSystem:
+    def test_build_system_stands_up_population(self):
+        system, interests = build_system(
+            SystemSpec(
+                num_nodes=20,
+                subjects=("a/b", "a/c"),
+                subscriptions_per_node=1,
+                seed=5,
+                publisher_names=("p",),
+            )
+        )
+        assert len(system.nodes) == 20
+        assert "p" in system.publishers
+        assert interests.subscriptions_per_node == 1
+
+    def test_build_system_validates(self):
+        with pytest.raises(ConfigurationError):
+            build_system(SystemSpec(num_nodes=0, subjects=("a/b",)))
+        with pytest.raises(ConfigurationError):
+            build_system(SystemSpec(num_nodes=10, subjects=()))
+
+
 class TestRunnerRegistry:
-    def test_full_and_quick_cover_same_experiments(self):
-        assert set(FULL) == set(QUICK)
-        assert set(FULL) == {f"e{i}" for i in range(1, 12)}
+    def test_registry_covers_e1_to_e11(self):
+        assert set(experiment_names()) == {f"e{i}" for i in range(1, 12)}
+
+    def test_specs_have_claims_and_valid_quick_params(self):
+        for spec in all_specs():
+            assert spec.claim
+            assert set(spec.quick_params) <= set(spec.parameters)
+            assert "seed" in spec.parameters
 
     def test_unknown_experiment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_spec("e99")
         assert main(["e99"]) == 2
+
+    def test_unknown_override_rejected(self):
+        spec = get_spec("e2")
+        with pytest.raises(ConfigurationError):
+            spec.build_kwargs(ExperimentConfig(overrides={"sices": (10,)}))
+
+    def test_build_kwargs_precedence(self):
+        spec = get_spec("e2")
+        kwargs = spec.build_kwargs(
+            ExperimentConfig(seed=9, quick=True, overrides={"items": 7})
+        )
+        assert kwargs["sizes"] == (100, 400)  # quick param
+        assert kwargs["items"] == 7           # override beats quick
+        assert kwargs["seed"] == 9            # seed beats everything
+
+    def test_run_eN_rejects_positional_arguments(self):
+        with pytest.raises(TypeError):
+            get_spec("e2").runner((60,))  # sizes must be keyword-only
+
+    def test_list_flag_enumerates_all_specs(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in experiment_names():
+            assert name in out
 
     def test_quick_runner_executes(self, capsys):
         assert main(["--quick", "e10"]) == 0
         out = capsys.readouterr().out
         assert "E10" in out and "completed in" in out
+
+    def test_json_artifact_written(self, tmp_path, capsys):
+        assert main(["--quick", "--seed", "3", "--json", str(tmp_path), "e10"]) == 0
+        capsys.readouterr()
+        payload = json.loads((tmp_path / "e10.json").read_text())
+        assert payload["experiment"] == "e10"
+        assert payload["seed"] == 3
+        assert payload["quick"] is True
+        assert payload["config"]["num_nodes"] == 120
+        assert payload["wall_time_s"] >= 0
+        assert payload["extra"]["result"]["rows"]
+        # The CLI injects a registry so the manifest carries the
+        # aggregate metric snapshot of the run.
+        assert payload["metrics"]["multicast.delivers"] > 0
+        assert payload["metrics"]["gossip.rounds"] > 0

@@ -1,6 +1,5 @@
 """Membership growth: a wave of joiners integrates into a running system."""
 
-import pytest
 
 from repro.core.config import GossipConfig, NewsWireConfig
 from repro.news.deployment import build_newswire

@@ -1,6 +1,5 @@
 """Partition tolerance: NewsWire across a healed network split."""
 
-import pytest
 
 from repro.core.config import GossipConfig, MulticastConfig, NewsWireConfig
 from repro.news.deployment import build_newswire

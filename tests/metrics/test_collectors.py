@@ -1,10 +1,14 @@
 """Tests for metric collectors and report formatting."""
 
+import pytest
+
 from repro.core.identifiers import ZonePath
+from repro.obs.sinks import StreamingSink
 from repro.sim.engine import Simulation
 from repro.sim.network import Network
 from repro.sim.trace import TraceLog
 from repro.metrics.collectors import (
+    collect_delivery_stats,
     deliveries_per_item,
     delivery_latencies,
     delivery_ratio,
@@ -14,9 +18,9 @@ from repro.metrics.collectors import (
 from repro.metrics.report import format_series, format_table, format_value
 
 
-def trace_with_deliveries():
+def trace_with_deliveries(**kwargs):
     sim = Simulation()
-    trace = TraceLog(sim)
+    trace = TraceLog(sim, **kwargs)
     trace.record("deliver", node="/a", item="i1", latency=0.5)
     trace.record("deliver", node="/b", item="i1", latency=1.5)
     trace.record("deliver", node="/a", item="i2", latency=2.0)
@@ -62,6 +66,41 @@ class TestCollectors:
         snapshot = forwarding_efficiency(trace_with_deliveries())
         assert snapshot["deliver"] == 3
         assert set(snapshot) >= {"publish", "forward", "filtered", "rejected"}
+
+
+class TestCollectorSources:
+    def test_memory_source_shares_one_pass(self):
+        stats = collect_delivery_stats(trace_with_deliveries())
+        assert stats.source == "memory"
+        assert stats.latencies == [0.5, 1.5, 2.0]
+        assert stats.per_item == {"i1": 2, "i2": 1}
+        assert stats.per_node == {"/a": 2, "/b": 1}
+        assert stats.total_deliveries == 3
+        assert stats.summary.count == 3
+        assert stats.summary.maximum == 2.0
+
+    def test_streaming_source_used_without_memory(self):
+        trace = trace_with_deliveries(sinks=[StreamingSink()])
+        stats = collect_delivery_stats(trace)
+        assert stats.source == "streaming"
+        assert stats.latencies == []  # exact values not retained
+        assert stats.per_item == {"i1": 2, "i2": 1}
+        assert stats.per_node == {"/a": 2, "/b": 1}
+        assert stats.summary.count == 3
+        assert stats.summary.maximum == 2.0
+        assert stats.summary.p50 == pytest.approx(1.5, abs=1.0)
+        assert delivery_ratio(trace, {"i1": 2, "i2": 1}, stats=stats) == 1.0
+
+    def test_empty_source_falls_back_to_kind_counter(self):
+        # Only a kinds-filtered log: no sink aggregates at all, but the
+        # always-on counter still supports an (uncapped) ratio.
+        sim = Simulation()
+        trace = TraceLog(sim, kinds=set())
+        trace.record("deliver", node="/a", item="i1", latency=0.5)
+        stats = collect_delivery_stats(trace)
+        assert stats.source == "empty"
+        assert delivery_ratio(trace, {"i1": 1}, stats=stats) == 1.0
+        assert delivery_ratio(trace, {"i1": 2}, stats=stats) == 0.5
 
 
 class TestReport:

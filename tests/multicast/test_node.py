@@ -1,6 +1,5 @@
 """Tests for zone-recursive multicast: dissemination, dedup, repair."""
 
-import pytest
 
 from repro.core.config import MulticastConfig, NewsWireConfig
 from repro.core.identifiers import ZonePath

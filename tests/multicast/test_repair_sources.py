@@ -1,9 +1,9 @@
 """Tests for repair sources: delivery caches and forwarding logs (§9)."""
 
-from repro.core.config import MulticastConfig, NewsWireConfig
+from repro.core.config import NewsWireConfig
 from repro.core.identifiers import ZonePath
 from repro.astrolabe.deployment import build_astrolabe
-from repro.multicast.messages import Envelope, RepairRequest, RepairResponse
+from repro.multicast.messages import Envelope, RepairRequest
 from repro.multicast.node import MulticastNode
 
 

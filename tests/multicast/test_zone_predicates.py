@@ -6,10 +6,8 @@ metadata that needs to be evaluated using the attribute values of a
 child zone before it can be forwarded to that zone."
 """
 
-import pytest
 
 from repro.core.config import NewsWireConfig
-from repro.core.identifiers import ZonePath
 from repro.astrolabe.certificates import AggregationCertificate
 from repro.pubsub.engine import build_pubsub
 from repro.pubsub.subscription import Subscription

@@ -1,6 +1,5 @@
 """Unit tests for the publisher token bucket."""
 
-import pytest
 
 from repro.news.node import _TokenBucket
 

@@ -5,7 +5,6 @@ import pytest
 from repro.core.config import NewsWireConfig, PublisherConfig
 from repro.core.errors import CertificateError, FlowControlError, PublishError
 from repro.core.identifiers import ItemId, ZonePath
-from repro.astrolabe.certificates import PublisherCertificate
 from repro.multicast.messages import Envelope
 from repro.news.deployment import build_newswire
 from repro.news.item import NewsItem

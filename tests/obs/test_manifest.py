@@ -1,0 +1,62 @@
+"""Tests for run manifests."""
+
+import json
+from dataclasses import dataclass
+
+from repro.obs.manifest import MANIFEST_VERSION, RunManifest, git_revision
+
+
+@dataclass
+class FakeResult:
+    rows: tuple
+    note: str = "ok"
+
+
+class TestGitRevision:
+    def test_inside_repo_returns_hash(self):
+        rev = git_revision()
+        assert rev is None or (len(rev) == 40 and all(
+            c in "0123456789abcdef" for c in rev))
+
+    def test_outside_repo_returns_none(self, tmp_path):
+        assert git_revision(cwd=tmp_path) is None
+
+
+class TestRunManifest:
+    def test_start_finish_roundtrip(self, tmp_path):
+        manifest = RunManifest.start(
+            "e2", seed=7, quick=True, config={"sizes": (100, 400)}
+        )
+        manifest.finish(
+            metrics={"gossip.rounds": 12},
+            result=FakeResult(rows=(1, 2)),
+        )
+        path = manifest.write(tmp_path / "deep" / "e2.json")
+
+        raw = json.loads(path.read_text())
+        assert raw["version"] == MANIFEST_VERSION
+        assert raw["experiment"] == "e2"
+        assert raw["seed"] == 7
+        assert raw["quick"] is True
+        assert raw["config"]["sizes"] == [100, 400]
+        assert raw["metrics"]["gossip.rounds"] == 12
+        assert raw["extra"]["result"]["rows"] == [1, 2]
+        assert raw["wall_time_s"] >= 0.0
+        assert raw["started_at"]
+
+        back = RunManifest.read(path)
+        assert back.experiment == "e2"
+        assert back.seed == 7
+        assert back.metrics == {"gossip.rounds": 12}
+
+    def test_finish_without_start_clock(self):
+        manifest = RunManifest(experiment="e1", seed=0)
+        manifest.finish(note="manual")
+        assert manifest.wall_time_s == 0.0
+        assert manifest.extra == {"note": "manual"}
+
+    def test_non_json_values_stringified(self, tmp_path):
+        manifest = RunManifest(experiment="e1", seed=0)
+        manifest.extra = {"obj": object()}
+        path = manifest.write(tmp_path / "m.json")
+        assert "object" in path.read_text()

@@ -1,0 +1,76 @@
+"""Sinks must be observers only: attaching them cannot change results.
+
+The golden-fingerprint tests pin the default (memory-sink) behaviour;
+this module pins the stronger property that extra sinks see the run
+without perturbing it — same RNG draws, same event order, same
+latencies to the last bit.  Note that *which* sinks are attached does
+change where the latency summary comes from (exact from a memory
+sink, histogram-approximate from a streaming sink), so the
+byte-identical comparison keeps a MemorySink in the mix.
+"""
+
+import pytest
+
+from repro.experiments.e2_latency import run_e2
+from repro.obs.sinks import JsonlFileSink, MemorySink, StreamingSink
+
+E2_KWARGS = dict(
+    sizes=(48,),
+    items=3,
+    item_spacing=1.0,
+    subscriptions_per_node=2,
+    settle_rounds=2.0,
+    drain_time=20.0,
+    seed=11,
+)
+
+
+def fingerprint(result):
+    row = result.rows[0]
+    return (
+        row.num_nodes,
+        row.items,
+        row.expected,
+        row.delivered,
+        row.ratio,
+        row.latency.p50,
+        row.latency.p90,
+        row.latency.p99,
+        row.latency.maximum,
+    )
+
+
+class TestSinkTransparency:
+    def test_extra_sinks_do_not_perturb_run(self, tmp_path):
+        baseline = run_e2(**E2_KWARGS)
+        with JsonlFileSink(tmp_path / "run.jsonl") as jsonl:
+            observed = run_e2(
+                **E2_KWARGS,
+                sinks=[MemorySink(), StreamingSink(), jsonl],
+            )
+        assert fingerprint(observed) == fingerprint(baseline)
+        # The file sink actually saw the traffic it was asked to record.
+        assert jsonl.lines_written > 0
+
+    def test_streaming_only_run_is_not_perturbed(self):
+        """Without a memory sink the exact-valued fields still agree.
+
+        Quantiles are histogram-approximate in streaming mode, so they
+        are compared with a tolerance rather than bit-for-bit.
+        """
+        baseline = run_e2(**E2_KWARGS)
+        sink = StreamingSink()
+        observed = run_e2(**E2_KWARGS, sinks=[sink])
+
+        base_row, obs_row = baseline.rows[0], observed.rows[0]
+        assert obs_row.expected == base_row.expected
+        assert obs_row.delivered == base_row.delivered
+        assert obs_row.ratio == base_row.ratio
+        assert obs_row.latency.count == base_row.latency.count
+        assert obs_row.latency.maximum == base_row.latency.maximum
+        assert obs_row.latency.p50 == pytest.approx(base_row.latency.p50, abs=0.05)
+
+        # The sink's own aggregates agree with the exact trace scan.
+        assert sink.count("deliver") == base_row.delivered
+        assert sink.latency.count == base_row.delivered
+        assert sink.latency.maximum == base_row.latency.maximum

@@ -1,0 +1,140 @@
+"""Tests for the trace sinks and the TraceLog fan-out dispatcher."""
+
+import json
+
+from repro.obs.sinks import JsonlFileSink, MemorySink, StreamingSink
+from repro.sim.engine import Simulation
+from repro.sim.trace import TraceLog
+
+
+def make_log(**kwargs):
+    return TraceLog(Simulation(seed=1), **kwargs)
+
+
+class TestMemorySink:
+    def test_default_log_retains_events(self):
+        log = make_log()
+        log.record("deliver", node="n0", item="i1", latency=0.5)
+        assert log.retained_events == 1
+        events = list(log.events("deliver"))
+        assert events[0]["latency"] == 0.5
+        assert events[0].get("missing") is None
+
+    def test_clear_drops_events_and_counts(self):
+        log = make_log()
+        log.record("x")
+        log.clear()
+        assert log.retained_events == 0
+        assert log.count("x") == 0
+
+
+class TestStreamingSink:
+    def test_aggregates_without_retaining(self):
+        sink = StreamingSink()
+        log = make_log(sinks=[sink])
+        for i in range(50):
+            log.record("deliver", node=f"n{i % 5}", item=f"i{i % 10}",
+                       latency=0.1 * (i % 7))
+        log.record("forward", to="/z0/n1", item="i0")
+        assert sink.retained_events == 0
+        assert log.retained_events == 0
+        assert sink.latency.count == 50
+        assert sum(sink.deliveries_per_item.values()) == 50
+        assert len(sink.deliveries_per_item) == 10
+        assert len(sink.deliveries_per_node) == 5
+        assert sink.forwards_per_target == {"/z0/n1": 1}
+        assert sink.count("deliver") == 50
+        assert sink.first_time is not None
+
+    def test_bounded_memory_as_items_grow(self):
+        """Acceptance: retained events stay constant as load grows."""
+        retained = []
+        aggregate_sizes = []
+        for scale in (100, 1000, 10_000):
+            sink = StreamingSink()
+            log = make_log(sinks=[sink])
+            for i in range(scale):
+                log.record("deliver", node=f"n{i % 20}", item=f"i{i % 50}",
+                           latency=0.01 * (i % 90))
+            retained.append(log.retained_events)
+            aggregate_sizes.append(
+                len(sink.deliveries_per_item)
+                + len(sink.deliveries_per_node)
+                + len(sink.latency.counts)
+            )
+        assert retained == [0, 0, 0]
+        # Aggregate state is bounded by distinct items/nodes/buckets,
+        # not by how many events flowed through.
+        assert aggregate_sizes[0] == aggregate_sizes[-1]
+
+    def test_as_dict_jsonable(self):
+        sink = StreamingSink()
+        log = make_log(sinks=[sink])
+        log.record("deliver", node="n0", item="i1", latency=0.2)
+        payload = json.dumps(sink.as_dict())
+        assert "events_seen" in payload
+
+    def test_clear_resets(self):
+        sink = StreamingSink()
+        sink.emit(1.0, "deliver", {"latency": 0.1, "item": "a", "node": "n"})
+        sink.clear()
+        assert sink.events_seen == 0
+        assert sink.latency.count == 0
+        assert sink.deliveries_per_item == {}
+
+
+class TestJsonlFileSink:
+    def test_writes_one_line_per_event(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlFileSink(path) as sink:
+            log = make_log(sinks=[sink])
+            log.record("publish", item="i1")
+            log.record("deliver", item="i1", latency=0.25)
+        lines = path.read_text().strip().split("\n")
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["kind"] == "publish"
+        assert sink.lines_written == 2
+        assert sink.retained_events == 0
+
+    def test_non_json_values_stringified(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlFileSink(path) as sink:
+            sink.emit(0.0, "x", {"obj": object()})
+        assert "object" in path.read_text()
+
+
+class TestFanOut:
+    def test_multiple_sinks_all_see_events(self):
+        memory = MemorySink()
+        streaming = StreamingSink()
+        log = make_log(sinks=[memory, streaming])
+        log.record("deliver", node="n0", item="i1", latency=0.1)
+        assert len(memory.events) == 1
+        assert streaming.latency.count == 1
+        assert log.memory_sink() is memory
+        assert log.streaming_sink() is streaming
+
+    def test_kinds_filter_applies_before_sinks(self):
+        memory = MemorySink()
+        log = TraceLog(Simulation(seed=1), kinds={"deliver"}, sinks=[memory])
+        log.record("forward", to="x")
+        log.record("deliver", node="n0")
+        assert len(memory.events) == 1
+        # counts still see everything, retained or not
+        assert log.count("forward") == 1
+
+    def test_add_sink_sees_only_later_events(self):
+        log = make_log()
+        log.record("a")
+        streaming = log.add_sink(StreamingSink())
+        log.record("b")
+        assert streaming.count("a") == 0
+        assert streaming.count("b") == 1
+
+    def test_streaming_only_log_has_no_events(self):
+        log = make_log(sinks=[StreamingSink()])
+        log.record("deliver", node="n0")
+        assert list(log.events()) == []
+        assert len(log) == 0
+        assert log.count("deliver") == 1

@@ -1,11 +1,9 @@
 """Tests for the pub/sub node: selective forwarding end to end."""
 
-import pytest
 
-from repro.core.config import BloomConfig, NewsWireConfig
-from repro.core.identifiers import ZonePath
+from repro.core.config import NewsWireConfig
 from repro.pubsub.engine import build_pubsub
-from repro.pubsub.schemes import BloomScheme, PublisherMaskScheme, categories_registry
+from repro.pubsub.schemes import PublisherMaskScheme, categories_registry
 from repro.pubsub.subscription import Subscription
 
 SUBJECTS = ["tech", "sports", "politics", "science"]

@@ -1,6 +1,5 @@
 """Tests for hierarchical subjects and wildcard subscriptions."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.config import BloomConfig, NewsWireConfig

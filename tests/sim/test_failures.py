@@ -119,3 +119,69 @@ class TestPartitionsAndFloods:
         count = nodes[0].floods
         sim.run_until(5.0)
         assert nodes[0].floods == count
+
+    def test_flood_counts_accumulate_in_failure_stats(self, rig):
+        sim, network, injector, nodes = rig
+        injector.flood(nodes[0].node_id, rate=50.0, start=0.0, duration=1.0)
+        injector.flood(nodes[1].node_id, rate=50.0, start=0.0, duration=1.0)
+        sim.run_until(3.0)
+        assert injector.stats.flood_messages == nodes[0].floods + nodes[1].floods
+        assert injector.stats.flood_messages > 50
+
+
+class TestFailuresAgainstRealGossip:
+    """The injector driving full Astrolabe agents (not bare processes)."""
+
+    def _deployment(self, num_nodes=8, seed=3):
+        from repro.astrolabe.deployment import build_astrolabe
+
+        return build_astrolabe(num_nodes, seed=seed)
+
+    def test_crash_silences_and_recover_restores_gossip(self):
+        deployment = self._deployment()
+        victim = deployment.agents[0]
+        deployment.sim.run_until(4.0)
+        sent_before = deployment.network.node_stats(victim.node_id).sent_messages
+        assert sent_before > 0  # it was gossiping
+
+        deployment.failures.crash_for(5.0, victim, downtime=10.0)
+        deployment.sim.run_until(6.0)
+        assert victim.crashed
+        sent_at_crash = deployment.network.node_stats(victim.node_id).sent_messages
+        deployment.sim.run_until(14.5)
+        # A crashed agent sends nothing: its timers were cancelled.
+        assert (
+            deployment.network.node_stats(victim.node_id).sent_messages
+            == sent_at_crash
+        )
+
+        deployment.sim.run_until(40.0)
+        assert not victim.crashed
+        # Recovery restarts the gossip timer and traffic resumes.
+        assert (
+            deployment.network.node_stats(victim.node_id).sent_messages
+            > sent_at_crash
+        )
+        assert deployment.failures.stats.crashes == 1
+        assert deployment.failures.stats.recoveries == 1
+
+    def test_partition_heals_and_state_reconverges(self):
+        deployment = self._deployment(num_nodes=8, seed=5)
+        agents = deployment.agents
+        groups = [
+            [agent.node_id for agent in agents[:4]],
+            [agent.node_id for agent in agents[4:]],
+        ]
+        # Shorter than the row TTL (30s at default config): the halves
+        # keep each other's stale rows and reconverge purely by gossip.
+        deployment.failures.partition_for(1.0, groups, duration=10.0)
+        deployment.sim.run_until(3.0)
+        source, observer = agents[0], agents[-1]
+        source.set_attribute("flag", 7)
+        deployment.sim.run_until(9.0)  # still partitioned
+        row = observer.zone_table(source.parent_zone).row(source.node_id.name)
+        assert row is None or row.get("flag") != 7
+        deployment.sim.run_until(60.0)  # healed at t=11, plus convergence
+        row = observer.zone_table(source.parent_zone).row(source.node_id.name)
+        assert row is not None and row.get("flag") == 7
+        assert deployment.failures.stats.partitions == 1
