@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-quick lint bench bench-pytest experiments experiments-quick examples clean
+.PHONY: install test test-fast test-quick lint bench bench-pytest experiments experiments-quick report examples clean
 
 install:
 	pip install -e '.[test]'
@@ -37,6 +37,11 @@ experiments:
 
 experiments-quick:
 	$(PYTHON) -m repro.experiments --quick
+
+# Causal dissemination report on the report-capable experiments
+# (critical paths, hop counts, loss attribution; docs/OBSERVABILITY.md).
+report:
+	$(PYTHON) -m repro.experiments e2 e11 --quick --report
 
 examples:
 	$(PYTHON) examples/quickstart.py

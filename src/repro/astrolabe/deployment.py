@@ -164,18 +164,19 @@ def build_astrolabe(
     """
     config = (config or NewsWireConfig()).validate()
     sim = Simulation(seed=seed)
+    trace = TraceLog(
+        sim,
+        kinds=trace_kinds if trace_kinds is not None else set(),
+        sinks=sinks,
+        metrics=metrics,
+    )
     network = Network(
         sim,
         latency=latency,
         loss_rate=loss_rate,
         bandwidth=bandwidth,
         ingress_bandwidth=ingress_bandwidth,
-    )
-    trace = TraceLog(
-        sim,
-        kinds=trace_kinds if trace_kinds is not None else set(),
-        sinks=sinks,
-        metrics=metrics,
+        trace=trace,
     )
     if keychain is None:
         keychain = KeyChain()

@@ -7,10 +7,17 @@ Usage::
     python -m repro.experiments --quick          # reduced sizes (a few minutes)
     python -m repro.experiments --list           # what exists, with claims
     python -m repro.experiments --json out/ e2   # also write run artifacts
+    python -m repro.experiments e2 --quick --report   # + causal report
 
 ``--json DIR`` writes one :class:`~repro.obs.manifest.RunManifest`
 per experiment (seed, parameters, git revision, wall time, result
 payload) into ``DIR/<name>.json`` — the per-run provenance artifact.
+
+``--report`` asks the experiments that support causal tracing (E2,
+E11) to attach a :class:`~repro.obs.causal.CausalSink`: their printed
+report gains critical-path / hop / loss-attribution sections and their
+manifests an ``extra.causal`` summary.  Experiments without the
+capability simply ignore the flag.
 
 Each printed report is also what EXPERIMENTS.md records.
 """
@@ -81,10 +88,15 @@ def _run_one(
     elapsed = time.time() - started
     print(result.report())
     if json_dir is not None:
+        extra = {}
+        causal = getattr(result, "causal", None)
+        if causal is not None:
+            extra["causal"] = causal
         manifest.finish(
             metrics=registry.snapshot() if registry is not None else None,
             result=_result_payload(result),
             claim=spec.claim,
+            **extra,
         )
         path = json_dir / f"{spec.name}.json"
         manifest.write(path)
@@ -117,6 +129,14 @@ def main(argv: list[str]) -> int:
         "--json", metavar="DIR", default=None,
         help="write a RunManifest artifact per experiment into DIR",
     )
+    parser.add_argument(
+        "--report", action="store_true",
+        help=(
+            "attach a CausalSink to experiments that support it (e2, "
+            "e11): print critical-path / hop-count / loss-attribution "
+            "sections and store extra.causal in --json manifests"
+        ),
+    )
     try:
         args = parser.parse_args(argv)
     except SystemExit as exc:  # argparse exits on --help / bad flags
@@ -137,7 +157,12 @@ def main(argv: list[str]) -> int:
         json_dir.mkdir(parents=True, exist_ok=True)
     config = ExperimentConfig(seed=args.seed, quick=args.quick)
     for spec in specs:
-        elapsed = _run_one(spec, config, json_dir)
+        spec_config = config
+        if args.report and "report" in spec.parameters:
+            spec_config = dataclasses.replace(
+                config, overrides={**config.overrides, "report": True}
+            )
+        elapsed = _run_one(spec, spec_config, json_dir)
         print(f"[{spec.name} completed in {elapsed:.1f}s]\n")
     return 0
 

@@ -205,3 +205,36 @@ def expected_deliveries(
             by_subject[publication.subject] = count
         expected[str(ItemId(publisher_name, serial))] = count
     return expected
+
+
+def expected_delivery_nodes(
+    interests: InterestModel,
+    system: NewsWireSystem,
+    trace: Sequence[Publication],
+    publisher_name: str,
+) -> Dict[str, set[str]]:
+    """item-id string -> the *node names* expected to deliver it.
+
+    The set-valued sibling of :func:`expected_deliveries`, consumed by
+    :meth:`repro.obs.causal.CausalSink.expect` so loss attribution can
+    name the exact subscribers an item failed to reach.  Relies on the
+    build invariant that ``deployment.agents[i]`` received
+    ``interests.subscriptions_for(i)``.
+    """
+    agents = system.deployment.agents
+    by_subject: Dict[str, set[str]] = {}
+    expected: Dict[str, set[str]] = {}
+    for serial, publication in enumerate(trace, start=1):
+        nodes = by_subject.get(publication.subject)
+        if nodes is None:
+            nodes = {
+                str(agents[index].node_id)
+                for index in range(len(agents))
+                if any(
+                    subscription.matches_subject(publication.subject)
+                    for subscription in interests.subscriptions_for(index)
+                )
+            }
+            by_subject[publication.subject] = nodes
+        expected[str(ItemId(publisher_name, serial))] = nodes
+    return expected

@@ -28,6 +28,7 @@ from repro.experiments.common import (
     build_system,
     drive_trace,
     expected_deliveries,
+    expected_delivery_nodes,
     validate_non_negative,
     validate_positive,
     validate_seed,
@@ -37,8 +38,9 @@ from repro.experiments.registry import register
 from repro.metrics.collectors import collect_delivery_stats, delivery_ratio
 from repro.metrics.report import format_table
 from repro.metrics.stats import Summary
+from repro.obs.causal import CausalSink, format_causal_report
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.sinks import TraceSink
+from repro.obs.sinks import MemorySink, TraceSink
 from repro.workloads.scenarios import TECH_CATEGORIES, subjects_for
 from repro.workloads.traces import Publication
 
@@ -56,9 +58,14 @@ class E2Row:
 @dataclass
 class E2Result:
     rows: list[E2Row]
+    #: str(num_nodes) -> CausalSink.summary() when run with report=True
+    #: (what the run manifest stores under ``extra.causal``).
+    causal: Optional[dict] = None
+    #: Rendered causal report per sweep size, same order as ``rows``.
+    causal_text: Optional[list[str]] = None
 
     def report(self) -> str:
-        return format_table(
+        table = format_table(
             ["nodes", "items", "expected", "delivered", "ratio",
              "lat p50 (s)", "lat p90 (s)", "lat p99 (s)", "lat max (s)"],
             [
@@ -80,6 +87,13 @@ class E2Result:
                 "(paper claims tens of seconds at 10^5 subscribers)"
             ),
         )
+        if not self.causal_text:
+            return table
+        sections = [table]
+        for row, text in zip(self.rows, self.causal_text):
+            sections.append(f"--- causal report ({row.num_nodes} nodes) ---")
+            sections.append(text)
+        return "\n\n".join(sections)
 
 
 @register(
@@ -103,6 +117,7 @@ def run_e2(
     config: Optional[NewsWireConfig] = None,
     sinks: Optional[Sequence[TraceSink]] = None,
     metrics: Optional[MetricsRegistry] = None,
+    report: bool = False,
 ) -> E2Result:
     validate_sizes("sizes", sizes)
     validate_positive("items", items)
@@ -113,8 +128,20 @@ def run_e2(
     validate_seed(seed)
     subjects = subjects_for(("newswire",), TECH_CATEGORIES)
     rows: list[E2Row] = []
+    causal_summaries: dict = {}
+    causal_texts: list[str] = []
     for num_nodes in sizes:
         cfg = config if config is not None else NewsWireConfig()
+        # Causal tracing: one fresh sink per sweep size — item keys
+        # repeat across sizes (same publisher, serials restart), so a
+        # shared sink would merge trees from different populations.
+        # Sinks are transparent, so attaching one cannot change rows.
+        causal: Optional[CausalSink] = None
+        size_sinks = sinks
+        if report:
+            causal = CausalSink()
+            base = list(sinks) if sinks is not None else [MemorySink()]
+            size_sinks = [*base, causal]
         # The per-size deployment seed varies while the interest seed
         # stays fixed — the historical (golden-fingerprinted) pattern.
         system, interests = build_system(
@@ -127,7 +154,7 @@ def run_e2(
                 publisher_names=("newswire",),
                 publisher_rate=50.0,
                 config=cfg,
-                sinks=sinks,
+                sinks=size_sinks,
                 metrics=metrics,
             )
         )
@@ -159,7 +186,16 @@ def run_e2(
                 latency=stats.summary,
             )
         )
-    return E2Result(rows)
+        if causal is not None:
+            for item, nodes in expected_delivery_nodes(
+                interests, system, trace, "newswire"
+            ).items():
+                causal.expect(item, nodes)
+            causal_summaries[str(num_nodes)] = causal.summary()
+            causal_texts.append(format_causal_report(causal))
+    if not report:
+        return E2Result(rows)
+    return E2Result(rows, causal=causal_summaries, causal_text=causal_texts)
 
 
 if __name__ == "__main__":

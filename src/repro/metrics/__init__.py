@@ -3,6 +3,7 @@
 from repro.metrics.collectors import (
     DeliveryStats,
     NodeLoad,
+    collect_causal_summary,
     collect_delivery_stats,
     deliveries_per_item,
     delivery_latencies,
@@ -37,6 +38,7 @@ __all__ = [
     "rate_series",
     "sparkline",
     "cdf_points",
+    "collect_causal_summary",
     "collect_delivery_stats",
     "deliveries_per_item",
     "delivery_latencies",

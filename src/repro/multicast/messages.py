@@ -47,10 +47,17 @@ class Envelope:
 
 @dataclass
 class ForwardMsg:
-    """Carry ``envelope`` toward/into ``zone`` (SendToZone recursion)."""
+    """Carry ``envelope`` toward/into ``zone`` (SendToZone recursion).
+
+    ``hop`` counts network hops from the publisher (the publisher's own
+    forwards carry 1); it rides along so receivers can stamp causal
+    trace events (`docs/OBSERVABILITY.md`, causal tracing) without the
+    analysis layer having to guess tree depth.
+    """
 
     zone: ZonePath
     envelope: Envelope
+    hop: int = 1
     wire_size: int = field(init=False)
 
     def __post_init__(self) -> None:

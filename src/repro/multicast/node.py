@@ -134,8 +134,20 @@ class MulticastNode(AstrolabeAgent):
     # Dissemination machinery
     # ------------------------------------------------------------------
 
-    def _disseminate(self, zone: ZonePath, envelope: Envelope) -> None:
-        """Handle an envelope addressed to ``zone`` (we are a member)."""
+    def _disseminate(
+        self,
+        zone: ZonePath,
+        envelope: Envelope,
+        sender: Optional[NodeId] = None,
+        hop: int = 0,
+    ) -> None:
+        """Handle an envelope addressed to ``zone`` (we are a member).
+
+        ``sender`` is the network peer the envelope arrived from (None
+        for the publisher's own recursion) and ``hop`` the number of
+        network hops it has travelled; both flow into the causal trace
+        fields so dissemination trees are reconstructable offline.
+        """
         if not self._seen.add((envelope.item_key, zone), None):
             self._m_duplicates.inc()
             self.trace.record(
@@ -144,7 +156,7 @@ class MulticastNode(AstrolabeAgent):
             return
         self.forward_log.add(envelope.item_key, envelope)
         if zone == self.node_id:
-            self._deliver(envelope)
+            self._deliver(envelope, sender=sender, hop=hop)
             return
         table = self.zone_table(zone)
         for label, row in table.rows():
@@ -162,16 +174,18 @@ class MulticastNode(AstrolabeAgent):
                 )
                 continue
             if child == self.node_id:
-                self._disseminate(child, envelope)
+                self._disseminate(child, envelope, sender, hop)
                 continue
             if self.node_id.labels[: child.depth] == child.labels:
                 # Our own branch: we are a member of the child zone, so
                 # recurse locally instead of paying a network hop.
-                self._disseminate(child, envelope)
+                self._disseminate(child, envelope, sender, hop)
                 continue
-            self._forward_to_child(child, row, envelope)
+            self._forward_to_child(child, row, envelope, hop)
 
-    def _forward_to_child(self, child: ZonePath, row: Row, envelope: Envelope) -> None:
+    def _forward_to_child(
+        self, child: ZonePath, row: Row, envelope: Envelope, hop: int = 0
+    ) -> None:
         contacts = row.get("contacts", ())
         if not isinstance(contacts, tuple) or not contacts:
             self.trace.record(
@@ -188,10 +202,12 @@ class MulticastNode(AstrolabeAgent):
                 zone=str(child),
                 to=target,
                 item=str(envelope.item_key),
+                parent=str(self.node_id),
+                hop=hop + 1,
             )
             self.queues.enqueue(
                 ZonePath.parse(target),
-                ForwardMsg(child, envelope),
+                ForwardMsg(child, envelope, hop + 1),
                 weight=weight,
                 urgency=envelope.urgency,
             )
@@ -223,7 +239,9 @@ class MulticastNode(AstrolabeAgent):
         except Exception:
             return True  # evaluation error on this row: fail open
 
-    def _route_toward(self, zone: ZonePath, envelope: Envelope) -> None:
+    def _route_toward(
+        self, zone: ZonePath, envelope: Envelope, hop: int = 0
+    ) -> None:
         """Forward toward a zone we are not a member of (scoped publish).
 
         Walk down from the deepest replicated ancestor: its table has a
@@ -237,13 +255,19 @@ class MulticastNode(AstrolabeAgent):
             row = self.zone_table(ancestor).row(next_label)
             if row is None:
                 break
-            self._forward_to_child(ancestor.child(next_label), row, envelope)
+            self._forward_to_child(ancestor.child(next_label), row, envelope, hop)
             return
         self.trace.record(
             "route-failed", zone=str(zone), item=str(envelope.item_key)
         )
 
-    def _deliver(self, envelope: Envelope) -> None:
+    def _deliver(
+        self,
+        envelope: Envelope,
+        sender: Optional[NodeId] = None,
+        hop: int = 0,
+        via: str = "tree",
+    ) -> None:
         if not envelope.scope.contains(self.node_id):
             # Scoped item that strayed outside its target subtree
             # (stale routing state or a repair offer): never deliver.
@@ -270,11 +294,18 @@ class MulticastNode(AstrolabeAgent):
             return
         if self.delivered.add(envelope.item_key, envelope):
             self._m_delivers.inc()
+            # Causal fields: ``sender`` is the network peer the copy
+            # arrived from ("" for a local/publisher delivery), ``hop``
+            # the network hops travelled, ``via`` how it got here
+            # (tree dissemination vs anti-entropy repair).
             self.trace.record(
                 "deliver",
                 node=str(self.node_id),
                 item=str(envelope.item_key),
                 latency=self.sim.now - envelope.created_at,
+                sender="" if sender is None else str(sender),
+                hop=hop,
+                via=via,
             )
             self.on_deliver(envelope)
 
@@ -307,20 +338,20 @@ class MulticastNode(AstrolabeAgent):
 
     def on_message(self, sender: NodeId, message: Any) -> None:
         if isinstance(message, ForwardMsg):
-            self._handle_forward(message)
+            self._handle_forward(sender, message)
         elif isinstance(message, RepairDigest):
             self._handle_repair_digest(sender, message)
         elif isinstance(message, RepairRequest):
             self._handle_repair_request(sender, message)
         elif isinstance(message, RepairResponse):
-            self._handle_repair_response(message)
+            self._handle_repair_response(sender, message)
         else:
             super().on_message(sender, message)
 
-    def _handle_forward(self, message: ForwardMsg) -> None:
+    def _handle_forward(self, sender: NodeId, message: ForwardMsg) -> None:
         zone = message.zone
         if zone == self.node_id or self.replicates(zone):
-            self._disseminate(zone, message.envelope)
+            self._disseminate(zone, message.envelope, sender, message.hop)
         elif zone.contains(self.node_id):
             # We are a member of a descendant of ``zone``?  Impossible:
             # members replicate all ancestors.  Kept for safety.
@@ -328,7 +359,7 @@ class MulticastNode(AstrolabeAgent):
         else:
             # Stale representative information routed the envelope to a
             # non-member (e.g. we moved or the row was old): route on.
-            self._route_toward(zone, message.envelope)
+            self._route_toward(zone, message.envelope, message.hop)
 
     # ------------------------------------------------------------------
     # Anti-entropy repair (bimodal multicast phase 2)
@@ -346,7 +377,12 @@ class MulticastNode(AstrolabeAgent):
             if env is not None
         )
         self._m_repair_digests.inc()
-        self.trace.record("repair-digest", to=str(partner), entries=len(entries))
+        self.trace.record(
+            "repair-digest",
+            node=str(self.node_id),
+            to=str(partner),
+            entries=len(entries),
+        )
         self.send(partner, RepairDigest(entries))
 
     def _pick_repair_partner(self) -> Optional[NodeId]:
@@ -387,9 +423,16 @@ class MulticastNode(AstrolabeAgent):
         if envelopes:
             self.send(sender, RepairResponse(envelopes))
 
-    def _handle_repair_response(self, message: RepairResponse) -> None:
+    def _handle_repair_response(
+        self, sender: NodeId, message: RepairResponse
+    ) -> None:
         for envelope in message.envelopes:
             if envelope.item_key not in self.delivered:
                 self._m_repair_pulls.inc()
-                self.trace.record("repair-delivered", item=str(envelope.item_key))
-                self._deliver(envelope)
+                self.trace.record(
+                    "repair-delivered",
+                    item=str(envelope.item_key),
+                    node=str(self.node_id),
+                    partner=str(sender),
+                )
+                self._deliver(envelope, sender=sender, via="repair")

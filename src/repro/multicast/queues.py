@@ -77,6 +77,15 @@ class ForwardingQueues:
         # registry rather than branching on every enqueue/send.
         trace = getattr(node, "trace", None)
         metrics = trace.metrics if trace is not None else MetricsRegistry()
+        self._trace = trace
+        # Causal tracing: a "queue-sent" event per drained item-bearing
+        # message lets the analysis layer split per-hop latency into
+        # queueing wait vs network time.  The membership test happens
+        # once here so runs without the kind enabled (benchmarks build
+        # traces with kinds=set()) pay nothing on the drain hot path.
+        self._record_sends = trace is not None and (
+            trace.kinds is None or "queue-sent" in trace.kinds
+        )
         self._m_enqueued = metrics.counter("queue.enqueued")
         self._m_sent = metrics.counter("queue.sent")
         self._m_dropped = metrics.counter("queue.dropped_on_crash")
@@ -153,9 +162,20 @@ class ForwardingQueues:
         if pending is not None:
             self._backlog -= 1
             self.stats.sent += 1
-            self.stats.total_wait += self.node.sim.now - pending.enqueued_at
+            wait = self.node.sim.now - pending.enqueued_at
+            self.stats.total_wait += wait
             self._m_sent.inc()
             self._m_depth.add(-1)
+            if self._record_sends:
+                envelope = getattr(pending.message, "envelope", None)
+                if envelope is not None:
+                    self._trace.record(
+                        "queue-sent",
+                        node=str(self.node.node_id),
+                        to=str(pending.target),
+                        item=str(envelope.item_key),
+                        wait=wait,
+                    )
             self._send(pending.target, pending.message)
         if self._backlog > 0:
             self._draining = True
@@ -203,6 +223,24 @@ class ForwardingQueues:
     def clear(self) -> int:
         """Drop all queued messages (called when the node crashes)."""
         dropped = self._backlog
+        if self._trace is not None and dropped:
+            # Loss attribution: every item-bearing message lost with
+            # this queue is traced so a miss can be pinned on the
+            # crashed forwarder rather than silently vanishing.
+            node = str(self.node.node_id)
+            pendings = list(self._heap)
+            for queue in self._queues.values():
+                pendings.extend(queue)
+            for pending in pendings:
+                envelope = getattr(pending.message, "envelope", None)
+                if envelope is not None:
+                    self._trace.record(
+                        "queue-dropped",
+                        node=node,
+                        to=str(pending.target),
+                        item=str(envelope.item_key),
+                        zone=str(getattr(pending.message, "zone", "")),
+                    )
         self._heap.clear()
         self._queues.clear()
         self._deficit.clear()

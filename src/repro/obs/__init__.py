@@ -15,6 +15,14 @@ The subsystem has three pieces (see ``docs/OBSERVABILITY.md``):
   artifact (seed, config, git revision, wall time, metric snapshot).
 """
 
+from repro.obs.causal import (
+    CausalSink,
+    CriticalPath,
+    ItemTree,
+    PathSegment,
+    Span,
+    format_causal_report,
+)
 from repro.obs.manifest import RunManifest, git_revision
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
@@ -31,21 +39,29 @@ from repro.obs.sinks import (
     StreamingSink,
     TraceEvent,
     TraceSink,
+    normalize_field,
 )
 
 __all__ = [
+    "CausalSink",
     "Counter",
+    "CriticalPath",
     "DEFAULT_BUCKETS",
     "Gauge",
     "Histogram",
     "HistogramData",
+    "ItemTree",
     "JsonlFileSink",
     "MemorySink",
     "MetricsRegistry",
+    "PathSegment",
     "RunManifest",
+    "Span",
     "StreamingSink",
     "TraceEvent",
     "TraceSink",
+    "format_causal_report",
     "git_revision",
+    "normalize_field",
     "probe_queue_depths",
 ]

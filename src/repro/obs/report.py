@@ -1,0 +1,136 @@
+"""Causal dissemination reports from trace artifacts or live runs.
+
+Usage::
+
+    # Replay an offline JSONL trace (written by JsonlFileSink):
+    python -m repro.obs.report --trace runs/trace.jsonl
+
+    # Same, with the run's provenance manifest for context:
+    python -m repro.obs.report --trace runs/trace.jsonl \
+        --manifest runs/e2.json
+
+    # Run a causal-capable experiment in-process and report on it:
+    python -m repro.obs.report --run e2 --quick
+
+Offline replays rebuild per-item dissemination trees with
+:meth:`repro.obs.causal.CausalSink.replay`; expected-delivery sets are
+derived from the trace's ``subscribe`` + ``publish`` events, so loss
+attribution works without the original interest model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional
+
+from repro.obs.causal import CausalSink, format_causal_report
+from repro.obs.manifest import RunManifest
+
+
+def _describe_manifest(path: Path) -> str:
+    manifest = RunManifest.read(path)
+    parts = [
+        f"experiment={manifest.experiment}",
+        f"seed={manifest.seed}",
+        f"quick={manifest.quick}",
+    ]
+    if manifest.git_rev:
+        parts.append(f"git={manifest.git_rev[:12]}")
+    if manifest.started_at:
+        parts.append(f"started={manifest.started_at}")
+    return "manifest: " + "  ".join(parts)
+
+
+def report_from_trace(
+    trace_path: Path,
+    manifest_path: Optional[Path] = None,
+    max_items: int = 10,
+) -> str:
+    """Replay ``trace_path`` and render the causal report."""
+    sink = CausalSink.replay(trace_path)
+    header = [
+        f"trace: {trace_path} ({sink.events_seen} events, "
+        f"{len(sink.trees)} items)"
+    ]
+    if manifest_path is not None:
+        header.append(_describe_manifest(manifest_path))
+    return "\n".join(header) + "\n\n" + format_causal_report(sink, max_items)
+
+
+def report_from_run(name: str, quick: bool, seed: Optional[int]) -> str:
+    """Run experiment ``name`` in-process with causal tracing enabled."""
+    # Imported lazily: the experiments package pulls in every protocol
+    # layer, which a pure trace replay does not need.
+    from repro.core.errors import ConfigurationError
+    from repro.experiments.registry import ExperimentConfig, get_spec
+
+    spec = get_spec(name)
+    if "report" not in spec.parameters:
+        raise ConfigurationError(
+            f"experiment {name!r} has no causal tracing support; "
+            "use one of the report-capable experiments (e2, e11)"
+        )
+    config = ExperimentConfig(
+        seed=seed, quick=quick, overrides={"report": True}
+    )
+    return spec.run(config).report()
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Causal dissemination report from a trace or a live run.",
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--trace", metavar="FILE",
+        help="JSONL trace artifact (JsonlFileSink output) to replay",
+    )
+    source.add_argument(
+        "--run", metavar="NAME",
+        help="run this experiment in-process with causal tracing (e2, e11)",
+    )
+    parser.add_argument(
+        "--manifest", metavar="FILE", default=None,
+        help="RunManifest JSON to print provenance from (with --trace)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="use the experiment's quick parameters (with --run)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="override the experiment seed (with --run)",
+    )
+    parser.add_argument(
+        "--max-items", type=int, default=10,
+        help="critical-path rows to show (default: 10 slowest items)",
+    )
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return int(exc.code or 0)
+
+    try:
+        if args.trace is not None:
+            trace_path = Path(args.trace)
+            if not trace_path.exists():
+                print(f"no such trace file: {trace_path}")
+                return 2
+            manifest = Path(args.manifest) if args.manifest else None
+            if manifest is not None and not manifest.exists():
+                print(f"no such manifest file: {manifest}")
+                return 2
+            print(report_from_trace(trace_path, manifest, args.max_items))
+        else:
+            print(report_from_run(args.run, args.quick, args.seed))
+    except Exception as exc:  # CLI surface: report, don't traceback
+        print(f"error: {exc}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

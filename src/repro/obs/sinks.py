@@ -198,13 +198,35 @@ class StreamingSink:
         )
 
 
+def normalize_field(value: Any) -> Any:
+    """Fold one trace-field value into a JSON-native shape.
+
+    Containers are normalized *recursively* — a ``labels=tuple(...)``
+    field becomes a JSON array of strings, not the ``"('a', 'b')"``
+    stringification ``json.dumps(default=str)`` would produce — so
+    offline traces stay machine-readable.  Sets are sorted for
+    determinism; non-native scalars (``ZonePath``, ``ItemId``) still
+    fall back to ``str``.
+    """
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, Mapping):
+        return {str(key): normalize_field(item) for key, item in value.items()}
+    if isinstance(value, (set, frozenset)):
+        return [normalize_field(item) for item in sorted(value, key=str)]
+    if isinstance(value, (list, tuple)):
+        return [normalize_field(item) for item in value]
+    return str(value)
+
+
 class JsonlFileSink:
     """Appends one JSON object per event to a file — the offline artifact.
 
-    Values that are not JSON-native (``ZonePath``, ``ItemId``, tuples of
-    them...) are serialized via ``str``.  The file is line-buffered via
-    the underlying file object; call :meth:`close` (or use the sink as a
-    context manager) to flush.
+    Fields are normalized with :func:`normalize_field`: containers
+    become JSON arrays/objects recursively, non-native scalars
+    (``ZonePath``, ``ItemId``...) become strings.  The file is
+    line-buffered via the underlying file object; call :meth:`close`
+    (or use the sink as a context manager) to flush.
     """
 
     def __init__(self, path: Union[str, Path]):
@@ -216,7 +238,8 @@ class JsonlFileSink:
         if self._file is None:
             return
         record = {"t": time, "kind": kind}
-        record.update(fields)
+        for key, value in fields.items():
+            record[key] = normalize_field(value)
         self._file.write(json.dumps(record, default=str) + "\n")
         self.lines_written += 1
 

@@ -21,7 +21,10 @@ from repro.pubsub.node import PubSubNode
 from repro.pubsub.schemes import BloomScheme, SubscriptionScheme
 from repro.pubsub.subscription import Subscription
 
-#: Default trace kinds a pub/sub experiment needs.
+#: Default trace kinds a pub/sub experiment needs.  The second block
+#: is the causal-tracing vocabulary (docs/OBSERVABILITY.md): edge
+#: events that let :class:`repro.obs.causal.CausalSink` reconstruct
+#: per-item dissemination trees and attribute every missing delivery.
 PUBSUB_TRACE_KINDS = {
     "publish",
     "deliver",
@@ -30,6 +33,16 @@ PUBSUB_TRACE_KINDS = {
     "forward",
     "dup-dropped",
     "repair-delivered",
+    # causal tracing
+    "subscribe",
+    "queue-sent",
+    "queue-dropped",
+    "net-drop",
+    "predicate-filtered",
+    "no-representative",
+    "route-failed",
+    "out-of-scope",
+    "repair-digest",
 }
 
 

@@ -173,6 +173,7 @@ class Network:
         loss_rate: float = 0.0,
         bandwidth: Optional[float] = None,
         ingress_bandwidth: Optional[float] = None,
+        trace: Optional[Any] = None,
     ):
         if not 0.0 <= loss_rate < 1.0:
             raise NetworkError(f"loss_rate must be in [0, 1), got {loss_rate}")
@@ -183,6 +184,13 @@ class Network:
                 f"ingress_bandwidth must be positive, got {ingress_bandwidth}"
             )
         self.sim = sim
+        #: Optional :class:`~repro.sim.trace.TraceLog` for per-message
+        #: drop attribution ("net-drop" events).  Only item-bearing
+        #: messages (those exposing ``.envelope.item_key``) are traced,
+        #: so gossip traffic never floods the sinks.  Recording reads
+        #: the clock but never the RNG: attaching a trace cannot
+        #: perturb a fixed-seed run.
+        self.trace = trace
         self.latency = latency if latency is not None else HierarchicalLatency()
         self.loss_rate = loss_rate
         self.bandwidth = bandwidth
@@ -246,6 +254,23 @@ class Network:
             return False
         return self._partition_group.get(src, 0) != self._partition_group.get(dst, 0)
 
+    def _record_drop(self, reason: str, src: NodeId, dst: NodeId, message: Any) -> None:
+        """Trace one dropped item-bearing message (cold path — drops only)."""
+        if self.trace is None:
+            return
+        envelope = getattr(message, "envelope", None)
+        if envelope is None:
+            return
+        self.trace.record(
+            "net-drop",
+            reason=reason,
+            src=str(src),
+            dst=str(dst),
+            item=str(envelope.item_key),
+            zone=str(getattr(message, "zone", "")),
+            hop=getattr(message, "hop", 0),
+        )
+
     # -- transport --------------------------------------------------------
 
     def send(
@@ -269,12 +294,15 @@ class Network:
 
         if dst not in self._handlers:
             self.stats.dropped_unknown += 1
+            self._record_drop("unknown", src, dst, message)
             return False
         if self._partitioned(src, dst):
             self.stats.dropped_partition += 1
+            self._record_drop("partition", src, dst, message)
             return False
         if self.loss_rate and self._rng.random() < self.loss_rate:
             self.stats.dropped_loss += 1
+            self._record_drop("loss", src, dst, message)
             return False
 
         delay = self.latency.sample(src, dst, self._rng) if src != dst else 0.0
@@ -303,6 +331,7 @@ class Network:
         handler = self._handlers.get(dst)
         if handler is None or getattr(handler, "crashed", False):
             self.stats.dropped_crashed += 1
+            self._record_drop("crashed", src, dst, message)
             return
         stats = self.node_stats(dst)
         stats.received_messages += 1

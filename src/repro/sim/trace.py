@@ -84,6 +84,15 @@ class TraceLog:
                 return sink
         return None
 
+    def causal_sink(self):
+        """The first attached :class:`~repro.obs.causal.CausalSink`, if any."""
+        from repro.obs.causal import CausalSink
+
+        for sink in self._sinks:
+            if isinstance(sink, CausalSink):
+                return sink
+        return None
+
     def close(self) -> None:
         """Close every sink (flushes file sinks)."""
         for sink in self._sinks:

@@ -12,6 +12,7 @@ byte-identical comparison keeps a MemorySink in the mix.
 import pytest
 
 from repro.experiments.e2_latency import run_e2
+from repro.obs.causal import CausalSink
 from repro.obs.sinks import JsonlFileSink, MemorySink, StreamingSink
 
 E2_KWARGS = dict(
@@ -74,3 +75,35 @@ class TestSinkTransparency:
         assert sink.count("deliver") == base_row.delivered
         assert sink.latency.count == base_row.delivered
         assert sink.latency.maximum == base_row.latency.maximum
+
+    def test_causal_sink_does_not_perturb_run(self):
+        """CausalSink rebuilds dissemination trees without touching the run."""
+        baseline = run_e2(**E2_KWARGS)
+        causal = CausalSink()
+        observed = run_e2(**E2_KWARGS, sinks=[MemorySink(), causal])
+        assert fingerprint(observed) == fingerprint(baseline)
+        # The sink actually reconstructed the dissemination it watched.
+        assert causal.events_seen > 0
+        assert len(causal.trees) == E2_KWARGS["items"]
+        assert sum(
+            len(t.delivered_nodes) for t in causal.trees.values()
+        ) == baseline.rows[0].delivered
+
+    def test_causal_alongside_streaming_does_not_perturb_run(self):
+        baseline = run_e2(**E2_KWARGS)
+        causal = CausalSink()
+        observed = run_e2(
+            **E2_KWARGS,
+            sinks=[MemorySink(), StreamingSink(), causal],
+        )
+        assert fingerprint(observed) == fingerprint(baseline)
+        assert causal.events_seen > 0
+
+    def test_report_mode_does_not_perturb_run(self):
+        """``report=True`` only attaches a sink; rows stay byte-identical."""
+        baseline = run_e2(**E2_KWARGS)
+        observed = run_e2(**E2_KWARGS, report=True)
+        assert fingerprint(observed) == fingerprint(baseline)
+        assert observed.causal is not None
+        summary = observed.causal[str(E2_KWARGS["sizes"][0])]
+        assert summary["deliveries"] == baseline.rows[0].delivered

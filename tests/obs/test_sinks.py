@@ -2,7 +2,12 @@
 
 import json
 
-from repro.obs.sinks import JsonlFileSink, MemorySink, StreamingSink
+from repro.obs.sinks import (
+    JsonlFileSink,
+    MemorySink,
+    StreamingSink,
+    normalize_field,
+)
 from repro.sim.engine import Simulation
 from repro.sim.trace import TraceLog
 
@@ -102,6 +107,31 @@ class TestJsonlFileSink:
         with JsonlFileSink(path) as sink:
             sink.emit(0.0, "x", {"obj": object()})
         assert "object" in path.read_text()
+
+    def test_containers_become_json_arrays(self, tmp_path):
+        """Tuples/sets/dicts serialize structurally, not via str()."""
+        path = tmp_path / "trace.jsonl"
+        with JsonlFileSink(path) as sink:
+            sink.emit(0.0, "rows-expired", {
+                "labels": ("zone-a", "zone-b"),
+                "members": {"n2", "n1"},
+                "nested": {"counts": [1, 2], "who": ("x",)},
+            })
+        record = json.loads(path.read_text())
+        assert record["labels"] == ["zone-a", "zone-b"]
+        assert record["members"] == ["n1", "n2"]  # sorted for determinism
+        assert record["nested"] == {"counts": [1, 2], "who": ["x"]}
+        assert "(" not in path.read_text()  # no stringified tuples
+
+    def test_normalize_field_recurses_and_falls_back_to_str(self):
+        class Opaque:
+            def __str__(self):
+                return "/z0/n1"
+
+        assert normalize_field([Opaque(), ("a", 1)]) == ["/z0/n1", ["a", 1]]
+        assert normalize_field({"k": frozenset({2, 1})}) == {"k": [1, 2]}
+        assert normalize_field(None) is None
+        assert normalize_field(1.5) == 1.5
 
 
 class TestFanOut:

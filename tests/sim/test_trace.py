@@ -62,6 +62,39 @@ class TestTraceLog:
         assert len(trace) == 0
         assert trace.count("e") == 0
 
+    def test_clear_resets_sinks_attached_mid_run(self):
+        """``clear()`` must reach sinks added *after* construction too."""
+        from repro.obs.sinks import StreamingSink
+
+        sim = Simulation()
+        trace = TraceLog(sim)
+        trace.record("deliver", node="/n0", item="i0", latency=0.1)
+        streaming = trace.add_sink(StreamingSink())
+        trace.record("deliver", node="/n0", item="i0", latency=0.2)
+        trace.clear()
+        assert trace.count("deliver") == 0
+        assert trace.retained_events == 0
+        assert streaming.events_seen == 0
+        assert streaming.latency.count == 0
+        # Recording after a clear starts from a clean slate everywhere.
+        trace.record("deliver", node="/n1", item="i1", latency=0.3)
+        assert trace.count("deliver") == 1
+        assert len(trace) == 1
+        assert streaming.count("deliver") == 1
+        assert streaming.deliveries_per_item == {"i1": 1}
+
+    def test_clear_resets_causal_sink(self):
+        from repro.obs.causal import CausalSink
+
+        sim = Simulation()
+        trace = TraceLog(sim)
+        causal = trace.add_sink(CausalSink())
+        trace.record("publish", node="/p", item="i", subject="s")
+        assert trace.causal_sink() is causal
+        trace.clear()
+        assert causal.trees == {}
+        assert causal.events_seen == 0
+
     def test_events_without_kind_returns_all(self):
         sim = Simulation()
         trace = TraceLog(sim)
