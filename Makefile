@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-quick lint bench bench-pytest experiments experiments-quick report examples clean
+.PHONY: install test test-fast test-quick lint fuzz bench bench-pytest experiments experiments-quick report examples clean
 
 install:
 	pip install -e '.[test]'
@@ -25,6 +25,12 @@ lint:
 	else \
 		echo "ruff not installed; skipping lint (CI runs it)"; \
 	fi
+
+# Randomized scenarios under the protocol invariant suite; failing
+# seeds are shrunk into replayable files under fuzz-repros/
+# (docs/TESTKIT.md).  Same budget as the CI fuzz-smoke job.
+fuzz:
+	$(PYTHON) -m repro.testkit.fuzz --seeds 25 --quick --keep-going
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m repro.experiments.bench_substrate -o BENCH_substrate.json

@@ -66,8 +66,13 @@ def _run_one(
     spec: ExperimentSpec,
     config: ExperimentConfig,
     json_dir: Optional[Path],
-) -> float:
-    """Run one experiment, print its report, write its manifest."""
+    check_invariants: bool = False,
+) -> tuple[float, list]:
+    """Run one experiment, print its report, write its manifest.
+
+    Returns the wall time and any invariant violations (empty unless
+    ``check_invariants`` attached a suite).
+    """
     manifest = RunManifest.start(
         experiment=spec.name,
         seed=config.seed,
@@ -83,15 +88,50 @@ def _run_one(
         config = dataclasses.replace(
             config, overrides={**config.overrides, "metrics": registry}
         )
+    # Invariant checking rides along as an extra sink.  The default
+    # MemorySink stays first so collectors keep their event source;
+    # the suite is an observer and cannot change results (pinned by
+    # tests/testkit/test_transparency.py).
+    suite = None
+    if (
+        check_invariants
+        and "sinks" in spec.parameters
+        and "sinks" not in config.overrides
+    ):
+        from repro.obs.sinks import MemorySink
+        from repro.testkit.invariants import InvariantSuite
+
+        suite = InvariantSuite()
+        config = dataclasses.replace(
+            config, overrides={**config.overrides, "sinks": [MemorySink(), suite]}
+        )
     started = time.time()
     result = spec.run(config)
     elapsed = time.time() - started
     print(result.report())
+    violations = []
+    if suite is not None:
+        # No live system here (runners tear theirs down): system-needing
+        # checkers skip; stream-level invariants still verdict.
+        violations = suite.finalize(None)
+        if violations:
+            print(f"[{spec.name} invariants: {len(violations)} violation(s)]")
+            for violation in violations:
+                print(f"  {violation}")
+        else:
+            print(f"[{spec.name} invariants: clean]")
+    elif check_invariants:
+        print(f"[{spec.name} takes no sinks; invariant checking skipped]")
     if json_dir is not None:
         extra = {}
         causal = getattr(result, "causal", None)
         if causal is not None:
             extra["causal"] = causal
+        if suite is not None:
+            extra["invariants"] = {
+                "checked": [checker.name for checker in suite.checkers],
+                "violations": [violation.as_dict() for violation in violations],
+            }
         manifest.finish(
             metrics=registry.snapshot() if registry is not None else None,
             result=_result_payload(result),
@@ -101,7 +141,7 @@ def _run_one(
         path = json_dir / f"{spec.name}.json"
         manifest.write(path)
         print(f"[{spec.name} manifest -> {path}]")
-    return elapsed
+    return elapsed, violations
 
 
 def main(argv: list[str]) -> int:
@@ -137,6 +177,15 @@ def main(argv: list[str]) -> int:
             "sections and store extra.causal in --json manifests"
         ),
     )
+    parser.add_argument(
+        "--check-invariants", action="store_true",
+        help=(
+            "attach the repro.testkit invariant suite to experiments "
+            "that accept sinks; print violations, store them under "
+            "extra.invariants in --json manifests, and exit non-zero "
+            "on any violation"
+        ),
+    )
     try:
         args = parser.parse_args(argv)
     except SystemExit as exc:  # argparse exits on --help / bad flags
@@ -156,15 +205,19 @@ def main(argv: list[str]) -> int:
     if json_dir is not None:
         json_dir.mkdir(parents=True, exist_ok=True)
     config = ExperimentConfig(seed=args.seed, quick=args.quick)
+    violated = False
     for spec in specs:
         spec_config = config
         if args.report and "report" in spec.parameters:
             spec_config = dataclasses.replace(
                 config, overrides={**config.overrides, "report": True}
             )
-        elapsed = _run_one(spec, spec_config, json_dir)
+        elapsed, violations = _run_one(
+            spec, spec_config, json_dir, check_invariants=args.check_invariants
+        )
+        violated = violated or bool(violations)
         print(f"[{spec.name} completed in {elapsed:.1f}s]\n")
-    return 0
+    return 1 if violated else 0
 
 
 if __name__ == "__main__":

@@ -23,7 +23,7 @@ from repro.obs.causal import (
     Span,
     format_causal_report,
 )
-from repro.obs.manifest import RunManifest, git_revision
+from repro.obs.manifest import RunManifest, git_revision, manifest_schema_errors
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -62,6 +62,7 @@ __all__ = [
     "TraceSink",
     "format_causal_report",
     "git_revision",
+    "manifest_schema_errors",
     "normalize_field",
     "probe_queue_depths",
 ]

@@ -54,7 +54,9 @@ class RunManifest:
     """Provenance + outcome summary of one experiment run."""
 
     experiment: str
-    seed: int
+    #: None when the run used each experiment's own default seed (the
+    #: CLI only pins a value under ``--seed``).
+    seed: Optional[int]
     quick: bool = False
     config: Dict[str, Any] = field(default_factory=dict)
     git_rev: Optional[str] = None
@@ -69,7 +71,7 @@ class RunManifest:
         cls,
         experiment: str,
         *,
-        seed: int,
+        seed: Optional[int],
         quick: bool = False,
         config: Optional[Mapping[str, Any]] = None,
     ) -> "RunManifest":
@@ -130,7 +132,7 @@ class RunManifest:
         raw = json.loads(Path(path).read_text(encoding="utf-8"))
         return cls(
             experiment=raw.get("experiment", ""),
-            seed=raw.get("seed", 0),
+            seed=raw.get("seed"),
             quick=raw.get("quick", False),
             config=raw.get("config", {}),
             git_rev=raw.get("git_rev"),
@@ -140,3 +142,148 @@ class RunManifest:
             extra=raw.get("extra", {}),
             version=raw.get("version", MANIFEST_VERSION),
         )
+
+
+#: (key, predicate, human-readable expectation) for every top-level field.
+_TOP_LEVEL_FIELDS = (
+    ("version", lambda v: isinstance(v, int) and not isinstance(v, bool), "int"),
+    ("experiment", lambda v: isinstance(v, str) and bool(v), "non-empty str"),
+    (
+        "seed",
+        lambda v: v is None or (isinstance(v, int) and not isinstance(v, bool)),
+        "int or null",
+    ),
+    ("quick", lambda v: isinstance(v, bool), "bool"),
+    ("config", lambda v: isinstance(v, dict), "dict"),
+    ("git_rev", lambda v: v is None or isinstance(v, str), "str or null"),
+    ("started_at", lambda v: isinstance(v, str), "str"),
+    (
+        "wall_time_s",
+        lambda v: isinstance(v, (int, float))
+        and not isinstance(v, bool)
+        and v >= 0,
+        "non-negative number",
+    ),
+    ("metrics", lambda v: isinstance(v, dict), "dict"),
+    ("extra", lambda v: isinstance(v, dict), "dict"),
+)
+
+#: Required scalar counters inside ``extra.causal`` (from CausalSink.summary).
+_CAUSAL_INT_FIELDS = ("items", "deliveries", "repaired")
+
+#: Required keys inside ``extra.causal.critical_path``.
+_CRITICAL_PATH_FIELDS = (
+    "count",
+    "mean_total",
+    "max_total",
+    "mean_hops",
+    "queue_wait",
+    "net_wait",
+    "round_wait",
+)
+
+#: Required counters inside ``extra.causal.losses``.
+_LOSS_INT_FIELDS = ("expected", "missing")
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _is_int(value: Any) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _causal_errors(causal: Any) -> list:
+    """Schema errors for the ``extra.causal`` summary block."""
+    if not isinstance(causal, dict):
+        return [f"extra.causal: expected dict, got {type(causal).__name__}"]
+    errors = []
+    for key in _CAUSAL_INT_FIELDS:
+        if not _is_int(causal.get(key)):
+            errors.append(f"extra.causal.{key}: expected int, got {causal.get(key)!r}")
+    path = causal.get("critical_path")
+    if not isinstance(path, dict):
+        errors.append(
+            f"extra.causal.critical_path: expected dict, got {type(path).__name__}"
+        )
+    else:
+        for key in _CRITICAL_PATH_FIELDS:
+            if not _is_number(path.get(key)):
+                errors.append(
+                    "extra.causal.critical_path."
+                    f"{key}: expected number, got {path.get(key)!r}"
+                )
+    for key in ("hop_counts", "fanout_by_level"):
+        if not isinstance(causal.get(key), dict):
+            errors.append(
+                f"extra.causal.{key}: expected dict, "
+                f"got {type(causal.get(key)).__name__}"
+            )
+    losses = causal.get("losses")
+    if not isinstance(losses, dict):
+        errors.append(
+            f"extra.causal.losses: expected dict, got {type(losses).__name__}"
+        )
+    else:
+        for key in _LOSS_INT_FIELDS:
+            if not _is_int(losses.get(key)):
+                errors.append(
+                    f"extra.causal.losses.{key}: expected int, "
+                    f"got {losses.get(key)!r}"
+                )
+        if not isinstance(losses.get("attributed"), dict):
+            errors.append(
+                "extra.causal.losses.attributed: expected dict, "
+                f"got {losses.get('attributed')!r}"
+            )
+    return errors
+
+
+def _invariants_errors(block: Any) -> list:
+    """Schema errors for the ``extra.invariants`` block."""
+    if not isinstance(block, dict):
+        return [f"extra.invariants: expected dict, got {type(block).__name__}"]
+    errors = []
+    checked = block.get("checked")
+    if not isinstance(checked, list) or not all(
+        isinstance(name, str) for name in checked or []
+    ):
+        errors.append(f"extra.invariants.checked: expected list of str, got {checked!r}")
+    violations = block.get("violations")
+    if not isinstance(violations, list) or not all(
+        isinstance(v, dict) for v in violations or []
+    ):
+        errors.append(
+            f"extra.invariants.violations: expected list of dict, got {violations!r}"
+        )
+    return errors
+
+
+def manifest_schema_errors(raw: Mapping[str, Any]) -> list:
+    """All schema violations in a manifest dict; empty means valid.
+
+    Validates the top-level fields ``as_dict()`` promises, and — when
+    present — the shapes the CLI attaches under ``extra.causal``
+    (``--report``) and ``extra.invariants`` (``--check-invariants``).
+    Returns human-readable ``"path: expectation"`` strings so a failing
+    test names the drift directly.
+    """
+    if not isinstance(raw, Mapping):
+        return [f"manifest: expected mapping, got {type(raw).__name__}"]
+    errors = []
+    for key, predicate, expectation in _TOP_LEVEL_FIELDS:
+        if key not in raw:
+            errors.append(f"{key}: missing required key")
+        elif not predicate(raw[key]):
+            errors.append(f"{key}: expected {expectation}, got {raw[key]!r}")
+    for key in raw:
+        if key not in {name for name, _, _ in _TOP_LEVEL_FIELDS}:
+            errors.append(f"{key}: unexpected top-level key")
+    extra = raw.get("extra")
+    if isinstance(extra, dict):
+        if "causal" in extra:
+            errors.extend(_causal_errors(extra["causal"]))
+        if "invariants" in extra:
+            errors.extend(_invariants_errors(extra["invariants"]))
+    return errors

@@ -144,7 +144,11 @@ class PubSubNode(MulticastNode):
         )
         self._m_publishes.inc()
         self.trace.record(
-            "publish", node=str(self.node_id), subject=subject, item=str(item_key)
+            "publish",
+            node=str(self.node_id),
+            subject=subject,
+            item=str(item_key),
+            scope=str(target),
         )
         self.send_to_zone(target, envelope)
         return envelope

@@ -9,8 +9,10 @@ object exposing ``crash``/``recover``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Sequence
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Sequence, Union
 
 from repro.core.errors import ConfigurationError
 from repro.core.identifiers import NodeId
@@ -119,11 +121,24 @@ class FailureInjector:
         if not process.crashed:
             process.crash()
             self.stats.crashes += 1
+            self._record("node-crash", process)
 
     def _recover(self, process: Process) -> None:
         if process.crashed:
             process.recover()
             self.stats.recoveries += 1
+            self._record("node-recover", process)
+
+    def _record(self, kind: str, process: Process) -> None:
+        """Trace a lifecycle milestone (observer-only; never touches RNG).
+
+        Runs only enable the ``node-crash``/``node-recover`` kinds
+        explicitly (the testkit does); default deployments filter them
+        out, so the record is a counter bump there.
+        """
+        trace = self.network.trace
+        if trace is not None:
+            trace.record(kind, node=str(process.node_id))
 
     # -- partitions --------------------------------------------------------
 
@@ -176,3 +191,193 @@ class FailureInjector:
             self.sim.call_after(self._rng.expovariate(rate), send_one)
 
         self.sim.call_at(start + self._rng.expovariate(rate), send_one)
+
+    # -- loss bursts --------------------------------------------------------
+
+    def loss_burst(self, time: float, rate: float, duration: float) -> None:
+        """Raise the network loss rate to ``rate`` for ``duration`` seconds.
+
+        The previous rate is captured when the burst begins and restored
+        when it ends, so bursts compose with a baseline lossy network.
+        """
+        if not 0.0 <= rate < 1.0:
+            raise ConfigurationError(f"loss rate must be in [0, 1), got {rate}")
+        if duration <= 0:
+            raise ConfigurationError("loss burst duration must be positive")
+        saved: list[float] = []
+
+        def begin() -> None:
+            saved.append(self.network.loss_rate)
+            self.network.loss_rate = rate
+
+        def end() -> None:
+            if saved:
+                self.network.loss_rate = saved.pop()
+
+        self.sim.call_at(time, begin)
+        self.sim.call_at(time + duration, end)
+
+
+# ----------------------------------------------------------------------
+# Serializable failure schedules (the fuzzing / replay artifact)
+# ----------------------------------------------------------------------
+
+#: Event kinds a :class:`FailureSchedule` may carry.
+FAILURE_KINDS = ("crash", "partition", "loss-burst")
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One scheduled failure, in node-*index* space so it serializes.
+
+    Node identity is positional (an index into the process roster the
+    schedule is applied to) rather than a :class:`NodeId`, so the same
+    schedule replays against any deployment of sufficient size — the
+    property the scenario shrinker relies on when it reduces the
+    population under a fixed schedule.
+
+    * ``crash`` — crash ``nodes[0]`` at ``time``; recover after
+      ``duration`` seconds (``duration <= 0`` means stay down).
+    * ``partition`` — split ``groups`` (tuples of node indices) at
+      ``time``; heal after ``duration``.
+    * ``loss-burst`` — raise the network loss rate to ``rate`` during
+      [``time``, ``time + duration``).
+    """
+
+    kind: str
+    time: float
+    duration: float = 0.0
+    nodes: tuple[int, ...] = ()
+    groups: tuple[tuple[int, ...], ...] = ()
+    rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAILURE_KINDS:
+            raise ConfigurationError(
+                f"unknown failure kind {self.kind!r}; choose from {FAILURE_KINDS}"
+            )
+        if self.time < 0:
+            raise ConfigurationError("failure time must be non-negative")
+
+    @property
+    def end_time(self) -> float:
+        """When this event's effect is over (recovery / heal / burst end)."""
+        return self.time + max(0.0, self.duration)
+
+    def as_dict(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {"kind": self.kind, "time": self.time}
+        if self.duration:
+            record["duration"] = self.duration
+        if self.nodes:
+            record["nodes"] = list(self.nodes)
+        if self.groups:
+            record["groups"] = [list(group) for group in self.groups]
+        if self.rate:
+            record["rate"] = self.rate
+        return record
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, Any]) -> "FailureEvent":
+        return cls(
+            kind=str(raw.get("kind", "")),
+            time=float(raw.get("time", 0.0)),
+            duration=float(raw.get("duration", 0.0)),
+            nodes=tuple(int(n) for n in raw.get("nodes", ())),
+            groups=tuple(
+                tuple(int(n) for n in group) for group in raw.get("groups", ())
+            ),
+            rate=float(raw.get("rate", 0.0)),
+        )
+
+
+@dataclass(frozen=True)
+class FailureSchedule:
+    """An ordered, serializable set of failure events.
+
+    ``apply`` arms every event against a concrete deployment; the JSON
+    form (``to_json``/``from_json``) is what fuzz repro files embed so
+    a failing scenario replays bit-for-bit.
+    """
+
+    events: tuple[FailureEvent, ...] = field(default_factory=tuple)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @property
+    def end_time(self) -> float:
+        """When the last scheduled effect is over (0.0 when empty)."""
+        return max((event.end_time for event in self.events), default=0.0)
+
+    @property
+    def crashed_forever(self) -> frozenset[int]:
+        """Indices of nodes crashed with no scheduled recovery."""
+        return frozenset(
+            index
+            for event in self.events
+            if event.kind == "crash" and event.duration <= 0
+            for index in event.nodes
+        )
+
+    def validate_for(self, num_nodes: int) -> "FailureSchedule":
+        """Check every node index is addressable in a roster of ``num_nodes``."""
+        for event in self.events:
+            indices = list(event.nodes) + [n for g in event.groups for n in g]
+            for index in indices:
+                if not 0 <= index < num_nodes:
+                    raise ConfigurationError(
+                        f"failure event {event.kind!r} addresses node {index}, "
+                        f"but the roster has {num_nodes} nodes"
+                    )
+        return self
+
+    def apply(self, injector: FailureInjector, processes: Sequence[Process]) -> None:
+        """Arm every event against ``processes`` via ``injector``."""
+        self.validate_for(len(processes))
+        for event in self.events:
+            if event.kind == "crash":
+                for index in event.nodes:
+                    if event.duration > 0:
+                        injector.crash_for(event.time, processes[index], event.duration)
+                    else:
+                        injector.crash_at(event.time, processes[index])
+            elif event.kind == "partition":
+                groups = [
+                    [processes[index].node_id for index in group]
+                    for group in event.groups
+                ]
+                injector.partition_for(event.time, groups, event.duration)
+            elif event.kind == "loss-burst":
+                injector.loss_burst(event.time, event.rate, event.duration)
+
+    # -- serialization -----------------------------------------------------
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"events": [event.as_dict() for event in self.events]}
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, Any]) -> "FailureSchedule":
+        return cls(
+            events=tuple(
+                FailureEvent.from_dict(event) for event in raw.get("events", ())
+            )
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FailureSchedule":
+        return cls.from_dict(json.loads(text))
+
+    def write(self, path: Union[str, Path]) -> Path:
+        target = Path(path)
+        target.write_text(self.to_json() + "\n", encoding="utf-8")
+        return target
+
+    @classmethod
+    def read(cls, path: Union[str, Path]) -> "FailureSchedule":
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))

@@ -249,6 +249,11 @@ class Network:
         """Remove any active partition."""
         self._partition_group = {}
 
+    @property
+    def is_partitioned(self) -> bool:
+        """True while a partition is in effect (checkers consult this)."""
+        return bool(self._partition_group)
+
     def _partitioned(self, src: NodeId, dst: NodeId) -> bool:
         if not self._partition_group:
             return False

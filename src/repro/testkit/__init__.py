@@ -1,0 +1,58 @@
+"""Correctness tooling: runtime invariant checkers + scenario fuzzing.
+
+NewsWire's core claims are properties, not numbers — no duplicate or
+out-of-scope deliveries, eventual delivery to every subscribed
+reachable node (or an attributed loss), well-formed dissemination
+trees, zone reconvergence after partitions heal, conservation in the
+forwarding queues.  This package asserts them continuously:
+
+* :mod:`repro.testkit.invariants` — checkers that attach as trace
+  sinks (observer-only; fixed-seed runs stay byte-identical);
+* :mod:`repro.testkit.scenarios` — seeded random scenario generation
+  (topology, subscriptions, workload, failure schedule) and execution;
+* :mod:`repro.testkit.shrink` — greedy minimization of a failing
+  scenario into a replayable repro file;
+* ``python -m repro.testkit.fuzz`` — the fuzzing CLI.
+"""
+
+from repro.testkit.invariants import (
+    CausalTreeWellFormed,
+    EventualDeliveryOrAttributedLoss,
+    InvariantChecker,
+    InvariantSuite,
+    NoDuplicateDelivery,
+    QueueBoundRespected,
+    ScopedDeliveryOnly,
+    Violation,
+    ZoneReconvergence,
+    default_checkers,
+)
+from repro.testkit.scenarios import (
+    TESTKIT_TRACE_KINDS,
+    FuzzScenario,
+    ScenarioResult,
+    run_scenario,
+    sample_scenario,
+)
+from repro.testkit.shrink import ShrinkResult, shrink_scenario, write_repro
+
+__all__ = [
+    "CausalTreeWellFormed",
+    "EventualDeliveryOrAttributedLoss",
+    "FuzzScenario",
+    "InvariantChecker",
+    "InvariantSuite",
+    "NoDuplicateDelivery",
+    "QueueBoundRespected",
+    "ScenarioResult",
+    "ScopedDeliveryOnly",
+    "ShrinkResult",
+    "TESTKIT_TRACE_KINDS",
+    "Violation",
+    "ZoneReconvergence",
+    "default_checkers",
+    "run_scenario",
+    "sample_scenario",
+    "shrink_scenario",
+    "write_repro",
+]

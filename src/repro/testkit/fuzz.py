@@ -1,0 +1,122 @@
+"""Fuzzing CLI: randomized scenarios under the invariant suite.
+
+Usage::
+
+    python -m repro.testkit.fuzz --seeds 50 --quick
+    python -m repro.testkit.fuzz --replay fuzz-repros/repro-seed7.json
+
+Each seed deterministically samples one scenario (topology,
+subscriptions, workload, failure schedule), runs it with every
+invariant checker attached, and — on a violation — greedily shrinks
+the scenario and writes a replayable repro file.  Exit status is
+non-zero when any seed violated an invariant.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.testkit.invariants import default_checkers
+from repro.testkit.scenarios import FuzzScenario, run_scenario, sample_scenario
+from repro.testkit.shrink import shrink_scenario, write_repro
+
+
+def _replay(path: str) -> int:
+    scenario = FuzzScenario.read(path)
+    result = run_scenario(scenario)
+    print(result.summary_line())
+    for violation in result.violations:
+        print(f"  {violation}")
+    return 0 if result.ok else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.testkit.fuzz",
+        description="Fuzz NewsWire scenarios under the protocol invariant suite.",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=25, help="number of seeded scenarios to run"
+    )
+    parser.add_argument(
+        "--seed-start", type=int, default=0, help="first seed of the range"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller populations/workloads (CI smoke budget)",
+    )
+    parser.add_argument(
+        "--out",
+        default="fuzz-repros",
+        help="directory for shrunk repro files (created on demand)",
+    )
+    parser.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="continue through remaining seeds after a violation",
+    )
+    parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report violations without minimizing the scenario",
+    )
+    parser.add_argument(
+        "--replay", metavar="FILE", help="re-run a scenario or repro file and exit"
+    )
+    parser.add_argument(
+        "--list-invariants",
+        action="store_true",
+        help="print the invariant catalogue and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_invariants:
+        for checker in default_checkers():
+            doc = (checker.__doc__ or "").strip().splitlines()[0]
+            print(f"{checker.name}: {doc}")
+        return 0
+    if args.replay:
+        return _replay(args.replay)
+    if args.seeds <= 0:
+        parser.error("--seeds must be positive")
+
+    failed_seeds = []
+    for seed in range(args.seed_start, args.seed_start + args.seeds):
+        scenario = sample_scenario(seed, quick=args.quick)
+        result = run_scenario(scenario)
+        print(result.summary_line())
+        if result.ok:
+            continue
+        failed_seeds.append(seed)
+        for violation in result.violations:
+            print(f"  {violation}")
+        if args.no_shrink:
+            if not args.keep_going:
+                break
+            continue
+        shrunk = shrink_scenario(scenario, result.violations)
+        path = write_repro(
+            Path(args.out) / f"repro-seed{seed}.json", shrunk
+        )
+        print(
+            f"  shrunk {shrunk.original_size} -> {shrunk.shrunk_size} "
+            f"in {shrunk.runs} runs; repro written to {path}"
+        )
+        if not args.keep_going:
+            break
+    if failed_seeds:
+        print(
+            f"FAIL: {len(failed_seeds)} seed(s) violated invariants: "
+            f"{failed_seeds}"
+        )
+        return 1
+    print(f"OK: {args.seeds} seeds, no invariant violations")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,232 @@
+"""Greedy scenario minimization for failing fuzz runs.
+
+Given a scenario that violates an invariant, the shrinker repeatedly
+tries smaller variants — fewer nodes, fewer publications, fewer and
+shorter failure events — and keeps any variant that still violates
+one of the *same* invariants (so it never shrinks onto a different
+bug).  The result is written as a self-contained repro file: the
+minimized scenario, the surviving violations, and the violating causal
+span, replayable via ``python -m repro.testkit.fuzz --replay FILE``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Optional, Union
+
+from repro.testkit.invariants import InvariantChecker, InvariantSuite, Violation
+from repro.testkit.scenarios import MIN_NODES, FuzzScenario, run_scenario
+from repro.sim.failures import FailureEvent, FailureSchedule
+
+__all__ = ["ShrinkResult", "shrink_scenario", "violating_span", "write_repro"]
+
+#: Repro-file format version (bump on incompatible layout changes).
+REPRO_VERSION = 1
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink session."""
+
+    original: FuzzScenario
+    scenario: FuzzScenario
+    violations: List[Violation]
+    suite: InvariantSuite
+    runs: int
+
+    @property
+    def original_size(self) -> int:
+        return self.original.size
+
+    @property
+    def shrunk_size(self) -> int:
+        return self.scenario.size
+
+
+def _reindex_schedule(schedule: FailureSchedule, num_nodes: int) -> FailureSchedule:
+    """Drop schedule references to nodes outside a reduced roster."""
+    kept: List[FailureEvent] = []
+    for event in schedule:
+        if event.kind == "crash":
+            nodes = tuple(n for n in event.nodes if n < num_nodes)
+            if not nodes:
+                continue
+            kept.append(replace(event, nodes=nodes))
+        elif event.kind == "partition":
+            groups = tuple(
+                trimmed
+                for trimmed in (
+                    tuple(n for n in group if n < num_nodes)
+                    for group in event.groups
+                )
+                if trimmed
+            )
+            if not groups:
+                continue
+            kept.append(replace(event, groups=groups))
+        else:
+            kept.append(event)
+    return FailureSchedule(tuple(kept))
+
+
+def _candidates(scenario: FuzzScenario) -> Iterator[FuzzScenario]:
+    """Smaller variants, most aggressive first."""
+    # Fewer nodes (the biggest size lever), schedule reindexed to fit.
+    tried = set()
+    for num_nodes in (
+        MIN_NODES,
+        scenario.num_nodes // 2,
+        (scenario.num_nodes * 3) // 4,
+        scenario.num_nodes - 1,
+    ):
+        if MIN_NODES <= num_nodes < scenario.num_nodes and num_nodes not in tried:
+            tried.add(num_nodes)
+            yield replace(
+                scenario,
+                num_nodes=num_nodes,
+                schedule=_reindex_schedule(scenario.schedule, num_nodes),
+            )
+    # Drop one failure event at a time.
+    events = scenario.schedule.events
+    for index in range(len(events)):
+        yield replace(
+            scenario,
+            schedule=FailureSchedule(events[:index] + events[index + 1:]),
+        )
+    # Halve one failure window at a time.
+    for index, event in enumerate(events):
+        if event.duration >= 4.0:
+            shorter = events[:index] + (
+                replace(event, duration=round(event.duration / 2, 3)),
+            ) + events[index + 1:]
+            yield replace(scenario, schedule=FailureSchedule(shorter))
+    # Drop one publication at a time (keep at least one).
+    pubs = scenario.publications
+    if len(pubs) > 1:
+        for index in range(len(pubs)):
+            yield replace(scenario, publications=pubs[:index] + pubs[index + 1:])
+    # Thin the subscription population.
+    if scenario.subscriptions_per_node > 1:
+        yield replace(scenario, subscriptions_per_node=1)
+
+
+def shrink_scenario(
+    scenario: FuzzScenario,
+    violations: List[Violation],
+    max_runs: int = 48,
+    checkers_factory: Optional[Callable[[], List[InvariantChecker]]] = None,
+) -> ShrinkResult:
+    """Greedily minimize ``scenario`` while it still fails the same way.
+
+    ``violations`` are the original run's findings; a candidate is
+    accepted only if it reproduces at least one violation of the same
+    invariant.  ``checkers_factory`` builds a fresh checker list per
+    run (defaults to the full catalogue); ``max_runs`` bounds the
+    total number of candidate executions.
+    """
+    target = {violation.invariant for violation in violations}
+    current = scenario
+    current_violations = list(violations)
+    current_suite: Optional[InvariantSuite] = None
+    runs = 0
+    improved = True
+    while improved and runs < max_runs:
+        improved = False
+        for candidate in _candidates(current):
+            if runs >= max_runs:
+                break
+            runs += 1
+            checkers = checkers_factory() if checkers_factory is not None else None
+            result = run_scenario(candidate, checkers=checkers)
+            if {v.invariant for v in result.violations} & target:
+                current = candidate
+                current_violations = result.violations
+                current_suite = result.suite
+                improved = True
+                break  # restart candidate generation from the smaller scenario
+    if current_suite is None:
+        # No candidate survived: re-run the original once so the repro
+        # file can carry its causal span.
+        checkers = checkers_factory() if checkers_factory is not None else None
+        result = run_scenario(current, checkers=checkers)
+        current_suite = result.suite
+        current_violations = result.violations or current_violations
+        runs += 1
+    return ShrinkResult(
+        original=scenario,
+        scenario=current,
+        violations=current_violations,
+        suite=current_suite,
+        runs=runs,
+    )
+
+
+def violating_span(
+    suite: InvariantSuite, violation: Violation
+) -> Optional[Dict[str, Any]]:
+    """The causal evidence behind ``violation``, JSON-able.
+
+    For item-scoped violations: the item's reconstructed span set,
+    plus either the delivery path to the offending node or — for a
+    miss — its loss classification.
+    """
+    if not violation.item:
+        return None
+    tree = suite.causal.trees.get(violation.item)
+    if tree is None:
+        return None
+    record: Dict[str, Any] = {
+        "item": tree.item,
+        "publisher": tree.publisher,
+        "publish_time": tree.publish_time,
+        "subject": tree.subject,
+        "spans": [
+            {
+                "node": span.node,
+                "hop": span.hop,
+                "parent": span.parent,
+                "via": span.via,
+                "delivered_at": span.delivered_at,
+            }
+            for span in sorted(tree.spans.values(), key=lambda s: s.node)
+        ],
+    }
+    if violation.node:
+        path = tree.path_to(violation.node)
+        if path is not None:
+            record["path"] = [
+                {
+                    "parent": segment.parent,
+                    "node": segment.node,
+                    "hop": segment.hop,
+                    "via": segment.via,
+                }
+                for segment in path.segments
+            ]
+        else:
+            record["miss_class"] = tree.classify_miss(violation.node)
+    return record
+
+
+def write_repro(path: Union[str, Path], result: ShrinkResult) -> Path:
+    """Write a self-contained, replayable repro file for ``result``."""
+    first = result.violations[0] if result.violations else None
+    payload = {
+        "version": REPRO_VERSION,
+        "scenario": result.scenario.as_dict(),
+        "violations": [violation.as_dict() for violation in result.violations],
+        "causal": violating_span(result.suite, first) if first else None,
+        "shrink": {
+            "original_size": result.original_size,
+            "shrunk_size": result.shrunk_size,
+            "runs": result.runs,
+        },
+    }
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return target

@@ -36,6 +36,24 @@ def subjects_for(publishers: Sequence[str], categories: Sequence[str]) -> list[s
     return [f"{p}/{c}" for p in publishers for c in categories]
 
 
+def sample_subjects(rng: random.Random) -> list[str]:
+    """A random §10-style subject universe, drawn from ``rng``.
+
+    Picks one of the paper's two deployment configurations (tech
+    community sites vs general news wires), then a random non-trivial
+    subset of its publishers and categories.  Used by the testkit's
+    scenario fuzzer; everything is driven by the caller's RNG so the
+    draw is reproducible from a seed.
+    """
+    if rng.random() < 0.5:
+        publishers, categories = TECH_PUBLISHERS, TECH_CATEGORIES
+    else:
+        publishers, categories = WIRE_PUBLISHERS, WIRE_CATEGORIES
+    chosen_pubs = sorted(rng.sample(publishers, rng.randint(1, 2)))
+    chosen_cats = sorted(rng.sample(categories, rng.randint(3, len(categories))))
+    return subjects_for(chosen_pubs, chosen_cats)
+
+
 @dataclass
 class Scenario:
     """A complete workload: who publishes what, who wants what."""

@@ -1,6 +1,7 @@
 """Tests for the §7 per-publisher category bitmask prototype."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.core.bitmask import CategoryMask, CategoryRegistry
 from repro.core.errors import ConfigurationError, SubscriptionError
@@ -102,3 +103,63 @@ class TestCategoryMask:
         registry = self._registry()
         assert CategoryMask.of(registry, ["tech"]) == CategoryMask.of(registry, ["tech"])
         assert CategoryMask.of(registry, ["tech"]) != CategoryMask.of(registry, ["games"])
+
+
+_NAMES = tuple(f"cat{i}" for i in range(12))
+subset = st.lists(st.sampled_from(_NAMES), unique=True)
+
+
+class TestMaskProperties:
+    """Round-trip and merge identities over arbitrary category sets.
+
+    The registry mapping is exact (no false positives), so a mask must
+    behave precisely like the set of categories it encodes — these
+    identities pin that equivalence.
+    """
+
+    def _registry(self):
+        registry = CategoryRegistry()
+        for name in _NAMES:
+            registry.register(name)
+        return registry
+
+    @given(categories=subset)
+    @settings(max_examples=60, deadline=None)
+    def test_of_roundtrips_through_categories(self, categories):
+        registry = self._registry()
+        mask = CategoryMask.of(registry, categories)
+        assert set(mask.categories()) == set(categories)
+        # and to_int is exactly the sum of the assigned bits
+        assert mask.to_int() == sum(
+            1 << registry.bit_for(name) for name in set(categories)
+        )
+        assert CategoryMask(registry, mask.to_int()) == mask
+
+    @given(left=subset, right=subset)
+    @settings(max_examples=60, deadline=None)
+    def test_union_is_set_union(self, left, right):
+        registry = self._registry()
+        a = CategoryMask.of(registry, left)
+        b = CategoryMask.of(registry, right)
+        merged = a | b
+        assert set(merged.categories()) == set(left) | set(right)
+        assert merged == b | a
+        assert merged | a == merged
+
+    @given(left=subset, right=subset)
+    @settings(max_examples=60, deadline=None)
+    def test_overlaps_iff_intersection_nonempty(self, left, right):
+        registry = self._registry()
+        a = CategoryMask.of(registry, left)
+        b = CategoryMask.of(registry, right)
+        assert a.overlaps(b) == bool(set(left) & set(right))
+
+    @given(categories=subset, data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_add_discard_inverse(self, categories, data):
+        registry = self._registry()
+        mask = CategoryMask.of(registry, categories)
+        victim = data.draw(st.sampled_from(_NAMES), label="victim")
+        mask.add(victim)
+        mask.discard(victim)
+        assert set(mask.categories()) == set(categories) - {victim}

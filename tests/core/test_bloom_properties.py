@@ -1,0 +1,182 @@
+"""Property tests for the §6 Bloom-filter subscription aggregation.
+
+Two families of guarantees:
+
+* **Algebraic** — adds/serialisation round-trip, union is the bitwise
+  OR the zone tree relies on (commutative, associative, idempotent,
+  superset-of-operands), counting filters project back exactly.
+  Checked with hypothesis over arbitrary item sets and geometries.
+* **Statistical** — the *measured* false-positive rate of a filter at
+  the paper's operating points stays within 2x the analytic
+  ``fill_ratio ** k`` bound, across seeded parameter sweeps.  This is
+  the empirical check that the hashing really behaves like the ideal
+  model the sizing formulas assume.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bloom import (
+    BloomFilter,
+    CountingBloomFilter,
+    bit_positions,
+    positions_mask,
+)
+
+items_strategy = st.lists(
+    st.text(min_size=1, max_size=24), min_size=0, max_size=40, unique=True
+)
+geometry_strategy = st.tuples(
+    st.integers(min_value=64, max_value=2048),   # num_bits
+    st.integers(min_value=1, max_value=6),       # num_hashes
+)
+
+
+class TestAlgebraicProperties:
+    @given(items=items_strategy, geometry=geometry_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_no_false_negatives_and_int_roundtrip(self, items, geometry):
+        num_bits, num_hashes = geometry
+        bloom = BloomFilter.from_items(items, num_bits, num_hashes)
+        assert all(item in bloom for item in items)
+        back = BloomFilter.from_int(bloom.to_int(), num_bits, num_hashes)
+        assert back == bloom
+        assert BloomFilter.from_bytes(
+            bloom.to_bytes(), num_bits, num_hashes
+        ) == bloom
+
+    @given(
+        left=items_strategy, right=items_strategy, geometry=geometry_strategy
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_union_is_or_of_item_sets(self, left, right, geometry):
+        num_bits, num_hashes = geometry
+        a = BloomFilter.from_items(left, num_bits, num_hashes)
+        b = BloomFilter.from_items(right, num_bits, num_hashes)
+        merged = a | b
+        # Exactly the filter built from the combined subscriptions...
+        assert merged == BloomFilter.from_items(
+            list(left) + list(right), num_bits, num_hashes
+        )
+        # ...commutative, idempotent, and a superset of both operands —
+        # what makes OR-aggregation up the zone tree order-insensitive.
+        assert merged == b | a
+        assert merged | a == merged
+        assert a.issubset(merged) and b.issubset(merged)
+
+    @given(
+        sets=st.lists(items_strategy, min_size=3, max_size=3),
+        geometry=geometry_strategy,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_union_associative(self, sets, geometry):
+        num_bits, num_hashes = geometry
+        a, b, c = (
+            BloomFilter.from_items(s, num_bits, num_hashes) for s in sets
+        )
+        assert (a | b) | c == a | (b | c)
+
+    @given(items=items_strategy, geometry=geometry_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_positions_mask_agrees_with_positions(self, items, geometry):
+        num_bits, num_hashes = geometry
+        bloom = BloomFilter.from_items(items, num_bits, num_hashes)
+        for probe in items + ["definitely-not-added-0", "nor-this-1"]:
+            positions = bit_positions(probe, num_bits, num_hashes)
+            assert bloom.test_mask(positions_mask(positions)) == \
+                bloom.test_positions(positions)
+
+    @given(
+        items=st.lists(
+            st.text(min_size=1, max_size=24), min_size=1, max_size=30,
+            unique=True,
+        ),
+        geometry=geometry_strategy,
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_counting_filter_add_remove_roundtrip(
+        self, items, geometry, data
+    ):
+        num_bits, num_hashes = geometry
+        counting = CountingBloomFilter(num_bits, num_hashes)
+        for item in items:
+            counting.add(item)
+        assert counting.to_bloom() == BloomFilter.from_items(
+            items, num_bits, num_hashes
+        )
+        removed = data.draw(
+            st.lists(st.sampled_from(items), unique=True), label="removed"
+        )
+        for item in removed:
+            counting.remove(item)
+        survivors = [item for item in items if item not in removed]
+        # Removal must restore exactly the filter over the survivors —
+        # shared bits may not be cleared while another holder remains.
+        assert counting.to_bloom() == BloomFilter.from_items(
+            survivors, num_bits, num_hashes
+        )
+        assert all(item in counting for item in survivors)
+
+
+def _empirical_fp_rate(
+    bloom: BloomFilter, members: set, rng: random.Random, probes: int
+) -> float:
+    hits = 0
+    tested = 0
+    while tested < probes:
+        probe = f"probe-{rng.getrandbits(64):016x}"
+        if probe in members:
+            continue
+        tested += 1
+        hits += probe in bloom
+    return hits / probes
+
+
+class TestEmpiricalFalsePositiveRate:
+    """Measured FP rate vs the analytic ``fill_ratio ** k`` bound."""
+
+    # Paper-relevant operating points: ~a thousand bits, k=1 (the
+    # paper's hash-to-a-single-bit scheme) up to textbook multi-hash
+    # geometries, at fills from comfortable to heavily loaded.
+    SWEEP = [
+        (1024, 1, 100),
+        (1024, 1, 400),
+        (1024, 4, 100),
+        (2048, 2, 300),
+        (512, 3, 80),
+        (4096, 1, 1200),
+    ]
+
+    @pytest.mark.parametrize("num_bits,num_hashes,num_items", SWEEP)
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_fp_rate_within_twice_analytic_bound(
+        self, num_bits, num_hashes, num_items, seed
+    ):
+        rng = random.Random(f"bloom-fp-{num_bits}-{num_hashes}-{seed}")
+        members = {
+            f"subject-{rng.getrandbits(64):016x}" for _ in range(num_items)
+        }
+        bloom = BloomFilter.from_items(members, num_bits, num_hashes)
+        analytic = bloom.expected_fp_rate()
+        assert 0.0 < analytic < 1.0
+        measured = _empirical_fp_rate(bloom, members, rng, probes=4000)
+        # 2x headroom absorbs sampling noise at 4000 probes while still
+        # catching a broken hash (which degrades FP rates by far more).
+        assert measured <= 2.0 * analytic + 0.002, (
+            f"measured {measured:.4f} vs analytic {analytic:.4f} "
+            f"(m={num_bits}, k={num_hashes}, n={num_items})"
+        )
+
+    @pytest.mark.parametrize("target", [0.1, 0.01])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_sized_for_meets_its_target(self, target, seed):
+        rng = random.Random(f"bloom-sized-{target}-{seed}")
+        members = {f"s-{rng.getrandbits(64):016x}" for _ in range(500)}
+        bloom = BloomFilter.sized_for(len(members), target)
+        for item in members:
+            bloom.add(item)
+        measured = _empirical_fp_rate(bloom, members, rng, probes=4000)
+        assert measured <= 2.0 * target

@@ -27,6 +27,7 @@ from repro.experiments.common import (
 )
 from repro.experiments.__main__ import main
 from repro.news.deployment import build_newswire
+from repro.obs.manifest import manifest_schema_errors
 from repro.pubsub.subscription import Subscription
 from repro.workloads.populations import InterestModel
 from repro.workloads.traces import Publication
@@ -189,3 +190,16 @@ class TestRunnerRegistry:
         # aggregate metric snapshot of the run.
         assert payload["metrics"]["multicast.delivers"] > 0
         assert payload["metrics"]["gossip.rounds"] > 0
+        assert manifest_schema_errors(payload) == []
+
+    def test_check_invariants_manifest(self, tmp_path, capsys):
+        assert main([
+            "--quick", "--json", str(tmp_path), "--check-invariants", "e10",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "[e10 invariants: clean]" in out
+        payload = json.loads((tmp_path / "e10.json").read_text())
+        assert manifest_schema_errors(payload) == []
+        block = payload["extra"]["invariants"]
+        assert "no-duplicate-delivery" in block["checked"]
+        assert block["violations"] == []

@@ -1,14 +1,20 @@
-"""Golden determinism fingerprints for the E2 latency experiment.
+"""Golden determinism fingerprints for fixed-seed experiment runs.
 
-These tuples were captured on the pre-overhaul substrate (before
+The E2 tuples were captured on the pre-overhaul substrate (before
 incremental digests, heap compaction, mask-form Bloom tests and
-aggregation caching).  The optimizations must be behaviour-preserving:
-a fixed-seed run stays byte-identical.  If a change legitimately
-alters scheduling or gossip semantics, re-capture the tuples with the
-same calls below and document the change.
+aggregation caching); the E5/E9 tuples on the substrate as of the
+testkit PR.  Optimizations must be behaviour-preserving: a fixed-seed
+run stays byte-identical.  If a change legitimately alters scheduling,
+hashing or gossip semantics, re-capture the tuples with the same calls
+below and document the change.
+
+(The companion pin in ``tests/testkit/test_transparency.py`` reruns
+the E2 fingerprints with the full invariant suite attached.)
 """
 
 from repro.experiments.e2_latency import run_e2
+from repro.experiments.e5_bloom import run_e5_analytic, run_e5_system
+from repro.experiments.e9_queues import run_e9
 
 
 def fingerprint(result):
@@ -62,3 +68,67 @@ class TestE2Golden:
             0.1638997812299936,
             0.16526657258996114,
         )
+
+
+class TestE5Golden:
+    """Bloom accuracy + in-network filtering at a reduced sweep.
+
+    Pins both the deterministic blake2b hashing (the measured FP rate
+    is a pure function of the seed) and the forwarding/filtering event
+    counts of a fixed-seed deployment.
+    """
+
+    def test_analytic_sweep_byte_identical(self):
+        rows = run_e5_analytic(
+            bit_sizes=(512,),
+            subscription_counts=(100,),
+            hash_counts=(1, 2),
+            probes=1000,
+            seed=3,
+        )
+        assert [
+            (r.num_bits, r.num_hashes, r.subscriptions, r.fill_ratio,
+             r.measured_fp_rate, r.predicted_fp_rate)
+            for r in rows
+        ] == [
+            (512, 1, 100, 0.17578125, 0.148, 0.17578125),
+            (512, 2, 100, 0.302734375, 0.11, 0.09164810180664062),
+        ]
+
+    def test_system_filtering_byte_identical(self):
+        rows = run_e5_system(
+            num_nodes=48, bit_sizes=(256,), num_subjects=12, seed=3
+        )
+        assert [
+            (r.scheme, r.num_bits, r.forwards, r.filtered,
+             r.leaf_rejections, r.deliveries, r.wasted_forward_ratio)
+            for r in rows
+        ] == [
+            ("bloom", 256, 123, 258, 0, 96, 0.0),
+            ("mask(§7)", 6, 123, 258, 0, 96, 0.0),
+        ]
+
+
+class TestE9Golden:
+    def test_queue_strategies_byte_identical(self):
+        result = run_e9(
+            num_nodes=48,
+            items=10,
+            strategies=("fifo", "weighted_rr"),
+            send_rate=12.0,
+            seed=7,
+        )
+        assert [
+            (r.strategy, r.deliveries, r.all_p50, r.all_p99, r.urgent_p50,
+             r.urgent_p99, r.publisher_peak_backlog, r.publisher_mean_wait)
+            for r in result.rows
+        ] == [
+            ("fifo", 256,
+             3.794611392075995, 7.499491420699891,
+             1.05779489736869, 4.590869334579004,
+             90, 3.7569230769230733),
+            ("weighted_rr", 256,
+             2.84259590520179, 7.1907687174039525,
+             0.7088261426094382, 5.701011945139831,
+             90, 3.7569230769230724),
+        ]

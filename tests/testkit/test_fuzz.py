@@ -1,0 +1,94 @@
+"""End-to-end tests: fuzz CLI, bug injection, shrinking, replay."""
+
+import pytest
+
+from repro.gossip.epidemic import RumorBuffer
+from repro.testkit.fuzz import main
+from repro.testkit.invariants import default_checkers
+from repro.testkit.scenarios import FuzzScenario, run_scenario, sample_scenario
+from repro.testkit.shrink import shrink_scenario, write_repro
+
+
+@pytest.fixture
+def broken_dedup(monkeypatch):
+    """Disable duplicate suppression: every redundant copy delivers.
+
+    Patches :meth:`RumorBuffer.add` to always report "new", the
+    deliberate-bug injection the fuzz harness must catch via the
+    no-duplicate-delivery invariant.
+    """
+    original = RumorBuffer.add
+
+    def leaky_add(self, key, payload):
+        original(self, key, payload)
+        return True
+
+    monkeypatch.setattr(RumorBuffer, "add", leaky_add)
+
+
+class TestCli:
+    def test_list_invariants(self, capsys):
+        assert main(["--list-invariants"]) == 0
+        out = capsys.readouterr().out
+        for checker in default_checkers():
+            assert checker.name in out
+
+    def test_smoke_seeds_pass(self, tmp_path, capsys):
+        assert main(["--seeds", "3", "--quick", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "OK: 3 seeds" in out
+        assert not list(tmp_path.iterdir())  # no repro files on success
+
+    def test_nonpositive_seeds_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--seeds", "0"])
+
+
+@pytest.mark.slow
+class TestBugInjection:
+    """The acceptance loop: inject a bug, catch it, shrink it, replay it."""
+
+    def _first_violating_seed(self):
+        for seed in range(5):
+            scenario = sample_scenario(seed, quick=True)
+            result = run_scenario(scenario)
+            if not result.ok:
+                return scenario, result
+        raise AssertionError("broken dedup never produced a violation")
+
+    def test_checker_fires_and_shrinks_to_half(self, broken_dedup, tmp_path):
+        scenario, result = self._first_violating_seed()
+        assert any(
+            v.invariant == "no-duplicate-delivery" for v in result.violations
+        )
+        shrunk = shrink_scenario(scenario, result.violations)
+        assert shrunk.shrunk_size <= shrunk.original_size // 2, (
+            f"shrink insufficient: {shrunk.original_size} -> "
+            f"{shrunk.shrunk_size}"
+        )
+        assert any(
+            v.invariant == "no-duplicate-delivery" for v in shrunk.violations
+        )
+
+        # The repro file is self-contained and replayable: loading it
+        # back and re-running reproduces the same invariant violation.
+        path = write_repro(tmp_path / "repro.json", shrunk)
+        replayed = run_scenario(FuzzScenario.read(path))
+        assert any(
+            v.invariant == "no-duplicate-delivery" for v in replayed.violations
+        )
+
+    def test_cli_exit_code_and_artifact(self, broken_dedup, tmp_path, capsys):
+        assert main(
+            ["--seeds", "5", "--quick", "--out", str(tmp_path), "--no-shrink"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "FAIL:" in out
+        assert "no-duplicate-delivery" in out
+
+    def test_replay_flag_reports_violation(self, broken_dedup, tmp_path, capsys):
+        scenario, result = self._first_violating_seed()
+        shrunk = shrink_scenario(scenario, result.violations, max_runs=4)
+        path = write_repro(tmp_path / "repro.json", shrunk)
+        assert main(["--replay", str(path)]) == 1
+        assert "VIOLATIONS" in capsys.readouterr().out

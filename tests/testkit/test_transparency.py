@@ -1,0 +1,54 @@
+"""The invariant suite is a pure observer — the transparency pin.
+
+Re-runs the E2 golden-fingerprint configurations (see
+``tests/integration/test_golden_fingerprints.py``) with the full
+invariant suite attached as a trace sink.  The fingerprints must stay
+byte-identical to the sink-free goldens: attaching every checker can
+never perturb a fixed-seed run.  This is what lets the experiments CLI
+offer ``--check-invariants`` without a determinism caveat.
+"""
+
+from repro.experiments.e2_latency import run_e2
+from repro.obs.sinks import MemorySink
+from repro.testkit.invariants import InvariantSuite
+
+from tests.integration.test_golden_fingerprints import fingerprint
+
+E2_SMALL_KWARGS = dict(
+    sizes=(48,),
+    items=3,
+    item_spacing=1.0,
+    subscriptions_per_node=2,
+    settle_rounds=2.0,
+    drain_time=20.0,
+    seed=11,
+)
+
+E2_SMALL_GOLDEN = (
+    48, 3, 68, 68, 1.0,
+    0.07796391124310853,
+    0.10660346298054517,
+    0.11764236234170554,
+    0.11785848519919195,
+)
+
+
+class TestSuiteTransparency:
+    def test_fingerprint_identical_with_suite_attached(self):
+        suite = InvariantSuite()
+        result = run_e2(sinks=[MemorySink(), suite], **E2_SMALL_KWARGS)
+        assert fingerprint(result) == E2_SMALL_GOLDEN
+        # The suite genuinely observed the run...
+        assert suite.causal.events_seen > 0
+        assert suite.causal.trees
+        # ...retained no event objects, and found nothing wrong.
+        assert suite.retained_events == 0
+        assert suite.finalize(None) == []
+
+    def test_suite_attached_matches_default_run(self):
+        # A run with no sinks argument at all vs the explicit
+        # MemorySink + suite list: identical results either way.
+        baseline = run_e2(**E2_SMALL_KWARGS)
+        observed = run_e2(sinks=[MemorySink(), InvariantSuite()],
+                          **E2_SMALL_KWARGS)
+        assert fingerprint(baseline) == fingerprint(observed)
