@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-quick lint fuzz bench bench-pytest experiments experiments-quick report examples clean
+.PHONY: install test test-fast test-quick lint fuzz bench bench-pytest bench-sweep sweep experiments experiments-quick report examples clean
 
 install:
 	pip install -e '.[test]'
@@ -37,6 +37,17 @@ bench:
 
 bench-pytest:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Serial-vs-parallel wall time on the quick sweeps -> BENCH_sweep.json
+# (speedup scales with physical cores; docs/PARALLEL.md).
+bench-sweep:
+	PYTHONPATH=src $(PYTHON) -m repro.parallel.bench_sweep -o BENCH_sweep.json
+
+# The decomposable sweeps through the process-parallel executor —
+# output is byte-identical to the serial run (docs/PARALLEL.md).
+# Same command as the CI parallel-sweep job.
+sweep:
+	$(PYTHON) -m repro.experiments e2 e5 e7 --quick --workers 2 --check-invariants
 
 experiments:
 	$(PYTHON) -m repro.experiments

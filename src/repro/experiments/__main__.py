@@ -19,6 +19,12 @@ report gains critical-path / hop / loss-attribution sections and their
 manifests an ``extra.causal`` summary.  Experiments without the
 capability simply ignore the flag.
 
+``--workers N`` fans each sweep-shaped experiment (E2, E5, E7, ...)
+out over N worker processes with a deterministic merge: reports,
+manifests and invariant verdicts are byte-identical to the serial run
+(``docs/PARALLEL.md``).  Experiments without a cell decomposition run
+serially with a note on stderr.
+
 Each printed report is also what EXPERIMENTS.md records.
 """
 
@@ -28,6 +34,7 @@ import argparse
 import dataclasses
 import sys
 import time
+import traceback
 from pathlib import Path
 from typing import Optional
 
@@ -67,10 +74,15 @@ def _run_one(
     config: ExperimentConfig,
     json_dir: Optional[Path],
     check_invariants: bool = False,
+    workers: int = 1,
 ) -> tuple[float, list]:
     """Run one experiment, print its report, write its manifest.
 
-    Returns the wall time and any invariant violations (empty unless
+    ``workers > 1`` routes cell-decomposable sweeps through the
+    process-parallel executor (:mod:`repro.parallel`); everything the
+    function prints or writes stays byte-identical to the serial path
+    (modulo wall-time/provenance manifest fields).  Returns the wall
+    time and any invariant violations (empty unless
     ``check_invariants`` attached a suite).
     """
     manifest = RunManifest.start(
@@ -82,54 +94,107 @@ def _run_one(
     # Runners that take a registry share one across their sweeps, so
     # the manifest can carry the aggregate metric snapshot.  (The
     # registry is an observer only; injecting it cannot perturb runs.)
-    registry = None
-    if "metrics" in spec.parameters and "metrics" not in config.overrides:
-        registry = MetricsRegistry()
-        config = dataclasses.replace(
-            config, overrides={**config.overrides, "metrics": registry}
-        )
+    want_metrics = "metrics" in spec.parameters and "metrics" not in config.overrides
     # Invariant checking rides along as an extra sink.  The default
     # MemorySink stays first so collectors keep their event source;
     # the suite is an observer and cannot change results (pinned by
     # tests/testkit/test_transparency.py).
-    suite = None
-    if (
+    want_suite = (
         check_invariants
         and "sinks" in spec.parameters
         and "sinks" not in config.overrides
-    ):
-        from repro.obs.sinks import MemorySink
-        from repro.testkit.invariants import InvariantSuite
-
-        suite = InvariantSuite()
-        config = dataclasses.replace(
-            config, overrides={**config.overrides, "sinks": [MemorySink(), suite]}
+    )
+    use_parallel = (
+        workers > 1
+        and spec.supports_cells
+        and not set(config.overrides) & {"sinks", "metrics"}
+    )
+    if workers > 1 and not use_parallel:
+        print(
+            f"[{spec.name} is not cell-decomposable; running serially]",
+            file=sys.stderr,
         )
+    registry = None
+    suite_checkers = None
     started = time.time()
-    result = spec.run(config)
+    try:
+        if use_parallel:
+            from repro.parallel import run_spec_parallel
+
+            run = run_spec_parallel(
+                spec,
+                config,
+                workers=workers,
+                want_metrics=want_metrics,
+                want_suite=want_suite,
+            )
+            result = run.result
+            registry = run.metrics
+            if want_suite:
+                from repro.testkit.invariants import InvariantSuite
+
+                suite_checkers = [c.name for c in InvariantSuite().checkers]
+                violations = list(run.violations)
+        else:
+            if want_metrics:
+                registry = MetricsRegistry()
+                config = dataclasses.replace(
+                    config, overrides={**config.overrides, "metrics": registry}
+                )
+            suite = None
+            if want_suite:
+                from repro.obs.sinks import MemorySink
+                from repro.testkit.invariants import InvariantSuite
+
+                suite = InvariantSuite()
+                config = dataclasses.replace(
+                    config,
+                    overrides={**config.overrides, "sinks": [MemorySink(), suite]},
+                )
+            result = spec.run(config)
+            if suite is not None:
+                # No live system here (runners tear theirs down):
+                # system-needing checkers skip; stream-level invariants
+                # still verdict.
+                suite_checkers = [checker.name for checker in suite.checkers]
+                violations = suite.finalize(None)
+    except Exception as exc:
+        # Don't abandon a started manifest: record the failure so the
+        # artifact directory still explains what happened.
+        if json_dir is not None:
+            manifest.finish(
+                claim=spec.claim,
+                error={
+                    "type": type(exc).__name__,
+                    "message": str(exc),
+                    "traceback": traceback.format_exc(),
+                },
+            )
+            path = json_dir / f"{spec.name}.json"
+            manifest.write(path)
+            print(f"[{spec.name} failed; manifest -> {path}]", file=sys.stderr)
+        raise
     elapsed = time.time() - started
     print(result.report())
-    violations = []
-    if suite is not None:
-        # No live system here (runners tear theirs down): system-needing
-        # checkers skip; stream-level invariants still verdict.
-        violations = suite.finalize(None)
+    if suite_checkers is not None:
         if violations:
             print(f"[{spec.name} invariants: {len(violations)} violation(s)]")
             for violation in violations:
                 print(f"  {violation}")
         else:
             print(f"[{spec.name} invariants: clean]")
-    elif check_invariants:
-        print(f"[{spec.name} takes no sinks; invariant checking skipped]")
+    else:
+        violations = []
+        if check_invariants:
+            print(f"[{spec.name} takes no sinks; invariant checking skipped]")
     if json_dir is not None:
         extra = {}
         causal = getattr(result, "causal", None)
         if causal is not None:
             extra["causal"] = causal
-        if suite is not None:
+        if suite_checkers is not None:
             extra["invariants"] = {
-                "checked": [checker.name for checker in suite.checkers],
+                "checked": suite_checkers,
                 "violations": [violation.as_dict() for violation in violations],
             }
         manifest.finish(
@@ -186,10 +251,29 @@ def main(argv: list[str]) -> int:
             "on any violation"
         ),
     )
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help=(
+            "run sweep-shaped experiments as N parallel worker "
+            "processes with deterministic merge (default 1: the "
+            "serial path; see docs/PARALLEL.md)"
+        ),
+    )
     try:
         args = parser.parse_args(argv)
     except SystemExit as exc:  # argparse exits on --help / bad flags
-        return int(exc.code or 0)
+        # exc.code may be None, an int, or an arbitrary message object
+        # (e.g. SystemExit(str)); only ints pass through unchanged.
+        if exc.code is None:
+            return 0
+        if isinstance(exc.code, int):
+            return exc.code
+        print(exc.code, file=sys.stderr)
+        return 2
+
+    if args.workers < 1:
+        print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
 
     if args.list_specs:
         print(_list_specs())
@@ -213,7 +297,11 @@ def main(argv: list[str]) -> int:
                 config, overrides={**config.overrides, "report": True}
             )
         elapsed, violations = _run_one(
-            spec, spec_config, json_dir, check_invariants=args.check_invariants
+            spec,
+            spec_config,
+            json_dir,
+            check_invariants=args.check_invariants,
+            workers=args.workers,
         )
         violated = violated or bool(violations)
         print(f"[{spec.name} completed in {elapsed:.1f}s]\n")

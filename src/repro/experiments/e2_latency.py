@@ -34,7 +34,7 @@ from repro.experiments.common import (
     validate_seed,
     validate_sizes,
 )
-from repro.experiments.registry import register
+from repro.experiments.registry import SweepCell, register
 from repro.metrics.collectors import collect_delivery_stats, delivery_ratio
 from repro.metrics.report import format_table
 from repro.metrics.stats import Summary
@@ -96,6 +96,41 @@ class E2Result:
         return "\n\n".join(sections)
 
 
+def _e2_cells(kwargs: dict) -> list[SweepCell]:
+    """One cell per population size.
+
+    Each sweep iteration in :func:`run_e2` builds a fresh system from
+    ``seed + num_nodes`` with a fixed interest seed, so the sizes are
+    fully independent: running each as its own single-size ``run_e2``
+    call reproduces the serial rows byte-for-byte.
+    """
+    cells = []
+    for index, num_nodes in enumerate(kwargs["sizes"]):
+        cell_kwargs = dict(kwargs)
+        cell_kwargs["sizes"] = (num_nodes,)
+        cells.append(
+            SweepCell(
+                index=index,
+                label=f"nodes={num_nodes}",
+                runner=run_e2,
+                kwargs=cell_kwargs,
+            )
+        )
+    return cells
+
+
+def _e2_merge(kwargs: dict, results: list) -> "E2Result":
+    rows = [row for result in results for row in result.rows]
+    if not kwargs.get("report"):
+        return E2Result(rows)
+    causal: dict = {}
+    causal_texts: list[str] = []
+    for result in results:
+        causal.update(result.causal or {})
+        causal_texts.extend(result.causal_text or [])
+    return E2Result(rows, causal=causal, causal_text=causal_texts)
+
+
 @register(
     "e2",
     claim=(
@@ -104,6 +139,8 @@ class E2Result:
         "vs population size"
     ),
     quick={"sizes": (100, 400), "items": 3},
+    cells=_e2_cells,
+    merge=_e2_merge,
 )
 def run_e2(
     *,
@@ -132,16 +169,23 @@ def run_e2(
     causal_texts: list[str] = []
     for num_nodes in sizes:
         cfg = config if config is not None else NewsWireConfig()
-        # Causal tracing: one fresh sink per sweep size — item keys
-        # repeat across sizes (same publisher, serials restart), so a
-        # shared sink would merge trees from different populations.
-        # Sinks are transparent, so attaching one cannot change rows.
+        # Each size gets its own fresh *primary* MemorySink: the row
+        # stats must cover only this size's events.  Caller sinks are
+        # fanned out to as well (they observe the whole sweep), but a
+        # shared caller MemorySink must never be the stats source — it
+        # would bleed the previous size's deliveries into this size's
+        # latency summary.  The causal sink is also per size: item
+        # keys repeat across sizes (same publisher, serials restart),
+        # so a shared sink would merge trees from different
+        # populations.  Sinks are transparent, so attaching one cannot
+        # change rows.
         causal: Optional[CausalSink] = None
-        size_sinks = sinks
+        size_sinks: list[TraceSink] = [
+            MemorySink(), *(sinks if sinks is not None else ())
+        ]
         if report:
             causal = CausalSink()
-            base = list(sinks) if sinks is not None else [MemorySink()]
-            size_sinks = [*base, causal]
+            size_sinks.append(causal)
         # The per-size deployment seed varies while the interest seed
         # stays fixed — the historical (golden-fingerprinted) pattern.
         system, interests = build_system(

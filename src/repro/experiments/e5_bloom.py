@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.core.bloom import BloomFilter
 from repro.core.config import BloomConfig, NewsWireConfig
@@ -31,7 +31,7 @@ from repro.pubsub.engine import build_pubsub
 from repro.pubsub.schemes import BloomScheme, PublisherMaskScheme, categories_registry
 from repro.workloads.populations import InterestModel
 from repro.experiments.common import validate_seed
-from repro.experiments.registry import register
+from repro.experiments.registry import SweepCell, register
 
 
 @dataclass(frozen=True)
@@ -128,60 +128,113 @@ def run_e5_analytic(
     return rows
 
 
+#: The system sweep run_e5 drives (and the parallel cell plan mirrors).
+DEFAULT_SYSTEM_BIT_SIZES: tuple[int, ...] = (64, 256, 1024)
+
+
+def run_e5_system_cell(
+    *,
+    num_nodes: int = 200,
+    num_bits: Optional[int] = None,
+    items_per_subject: int = 1,
+    num_subjects: int = 48,
+    seed: int = 0,
+) -> E5SystemRow:
+    """One scheme of the system sweep: a Bloom filter of ``num_bits``
+    bits, or the exact §7 publisher-mask scheme when ``num_bits`` is
+    None.  Every cell builds its own fresh deployment from the same
+    seed, so cells are independent — the unit the parallel executor
+    fans out."""
+    publishers = ("slashdot", "wired")
+    categories = tuple(f"cat{i}" for i in range(num_subjects // len(publishers)))
+    subjects = [f"{p}/{c}" for p in publishers for c in categories]
+    if num_bits is None:
+        registries = categories_registry({p: categories for p in publishers})
+        scheme = PublisherMaskScheme(registries)
+        label, reported_bits = "mask(§7)", len(categories)
+    else:
+        scheme = BloomScheme(BloomConfig(num_bits=num_bits, num_hashes=1))
+        label, reported_bits = "bloom", num_bits
+    config = NewsWireConfig(branching_factor=8)
+    interests = InterestModel(
+        subjects=subjects, subscriptions_per_node=2, seed=seed
+    )
+    deployment = build_pubsub(
+        num_nodes,
+        config,
+        scheme=scheme,
+        subscriptions_for=interests.subscriptions_for,
+        seed=seed,
+    )
+    deployment.run_rounds(2)
+    publisher = deployment.agents[0]
+    for subject in subjects[: items_per_subject * len(subjects)]:
+        publisher.publish(subject, {"h": subject}, publisher=subject.split("/")[0])
+    deployment.sim.run_for(20.0)
+    trace = deployment.trace
+    forwards = trace.count("forward")
+    rejected = trace.count("rejected")
+    deliveries = trace.count("deliver")
+    return E5SystemRow(
+        scheme=label,
+        num_bits=reported_bits,
+        forwards=forwards,
+        filtered=trace.count("filtered"),
+        leaf_rejections=rejected,
+        deliveries=deliveries,
+        wasted_forward_ratio=rejected / forwards if forwards else 0.0,
+    )
+
+
 def run_e5_system(
     *,
     num_nodes: int = 200,
-    bit_sizes: Sequence[int] = (64, 256, 1024),
+    bit_sizes: Sequence[int] = DEFAULT_SYSTEM_BIT_SIZES,
     items_per_subject: int = 1,
     num_subjects: int = 48,
     seed: int = 0,
 ) -> list[E5SystemRow]:
-    publishers = ("slashdot", "wired")
-    categories = tuple(f"cat{i}" for i in range(num_subjects // len(publishers)))
-    subjects = [f"{p}/{c}" for p in publishers for c in categories]
-    rows: list[E5SystemRow] = []
-
-    def run_one(scheme, label: str, num_bits: int) -> E5SystemRow:
-        config = NewsWireConfig(branching_factor=8)
-        interests = InterestModel(
-            subjects=subjects, subscriptions_per_node=2, seed=seed
-        )
-        deployment = build_pubsub(
-            num_nodes,
-            config,
-            scheme=scheme,
-            subscriptions_for=interests.subscriptions_for,
-            seed=seed,
-        )
-        deployment.run_rounds(2)
-        publisher = deployment.agents[0]
-        for subject in subjects[: items_per_subject * len(subjects)]:
-            publisher.publish(subject, {"h": subject}, publisher=subject.split("/")[0])
-        deployment.sim.run_for(20.0)
-        trace = deployment.trace
-        forwards = trace.count("forward")
-        rejected = trace.count("rejected")
-        deliveries = trace.count("deliver")
-        return E5SystemRow(
-            scheme=label,
-            num_bits=num_bits,
-            forwards=forwards,
-            filtered=trace.count("filtered"),
-            leaf_rejections=rejected,
-            deliveries=deliveries,
-            wasted_forward_ratio=rejected / forwards if forwards else 0.0,
-        )
-
-    for num_bits in bit_sizes:
-        scheme = BloomScheme(BloomConfig(num_bits=num_bits, num_hashes=1))
-        rows.append(run_one(scheme, "bloom", num_bits))
-    registries = categories_registry(
-        {p: categories for p in publishers}
+    cell_kwargs = dict(
+        num_nodes=num_nodes,
+        items_per_subject=items_per_subject,
+        num_subjects=num_subjects,
+        seed=seed,
     )
-    rows.append(
-        run_one(PublisherMaskScheme(registries), "mask(§7)", len(categories))
-    )
+    rows = [
+        run_e5_system_cell(num_bits=num_bits, **cell_kwargs)
+        for num_bits in bit_sizes
+    ]
+    rows.append(run_e5_system_cell(num_bits=None, **cell_kwargs))
     return rows
+
+
+def _e5_cells(kwargs: dict) -> list[SweepCell]:
+    """The analytic sweep (one sequential RNG stream, kept whole) plus
+    one cell per system scheme — all independent given the seed."""
+    seed = kwargs.get("seed", 0)
+    cells = [
+        SweepCell(
+            index=0,
+            label="analytic",
+            runner=run_e5_analytic,
+            kwargs={"seed": seed},
+        )
+    ]
+    for num_bits in (*DEFAULT_SYSTEM_BIT_SIZES, None):
+        label = f"system:bloom-{num_bits}" if num_bits else "system:mask"
+        cells.append(
+            SweepCell(
+                index=len(cells),
+                label=label,
+                runner=run_e5_system_cell,
+                kwargs={"num_bits": num_bits, "seed": seed},
+            )
+        )
+    return cells
+
+
+def _e5_merge(kwargs: dict, results: list) -> "E5Result":
+    return E5Result(analytic=results[0], system=list(results[1:]))
 
 
 @register(
@@ -190,6 +243,8 @@ def run_e5_system(
         '"the accuracy can be made as good as desired by varying the '
         'size of the bit array" — Bloom-filter sizing'
     ),
+    cells=_e5_cells,
+    merge=_e5_merge,
 )
 def run_e5(*, seed: int = 0) -> E5Result:
     validate_seed(seed)

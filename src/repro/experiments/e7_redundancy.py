@@ -24,7 +24,7 @@ from repro.experiments.common import (
     validate_seed,
     validate_sizes,
 )
-from repro.experiments.registry import register
+from repro.experiments.registry import SweepCell, register
 from repro.metrics.collectors import delivery_ratio
 from repro.metrics.report import format_table
 from repro.news.deployment import build_newswire
@@ -65,6 +65,106 @@ class E7Result:
         )
 
 
+def run_e7_cell(
+    *,
+    num_nodes: int = 300,
+    items: int = 10,
+    reps: int = 1,
+    repair: bool = False,
+    loss_rate: float = 0.05,
+    crash_fraction: float = 0.10,
+    seed: int = 0,
+) -> E7Row:
+    """One (representatives, repair) combination of the E7 sweep.
+
+    Builds its own system from the shared seed, so combinations are
+    independent — the unit the parallel executor fans out."""
+    subjects = subjects_for(("newswire",), TECH_CATEGORIES)
+    config = NewsWireConfig(
+        multicast=MulticastConfig(
+            representatives=max(3, reps),
+            send_to_representatives=reps,
+            repair_enabled=repair,
+            repair_interval=3.0,
+        )
+    )
+    interests = InterestModel(
+        subjects=subjects, subscriptions_per_node=3, seed=seed
+    )
+    system = build_newswire(
+        num_nodes,
+        config,
+        publisher_names=("newswire",),
+        publisher_rate=50.0,
+        subscriptions_for=interests.subscriptions_for,
+        seed=seed,
+        loss_rate=loss_rate,
+    )
+    system.run_for(2 * config.gossip.interval)
+    start = system.sim.now
+    trace = [
+        Publication(
+            time=start + index * 1.0,
+            subject=subjects[index % len(subjects)],
+            headline=f"story {index}",
+            body_words=120,
+        )
+        for index in range(items)
+    ]
+    drive_trace(system, "newswire", trace)
+    if crash_fraction > 0:
+        # Crash forwarders mid-dissemination; they stay down.
+        system.deployment.failures.crash_fraction(
+            start + 0.05, system.nodes[1:], crash_fraction
+        )
+    system.sim.run_until(start + items * 1.0 + 60.0)
+
+    # Crashed nodes cannot deliver; expectation covers survivors.
+    crashed = {str(n.node_id) for n in system.nodes if n.crashed}
+    expected = _adjust_for_crashes(
+        interests, num_nodes, trace, "newswire", crashed, system
+    )
+    deliveries = system.trace.count("deliver")
+    dups = system.trace.count("dup-dropped")
+    return E7Row(
+        representatives=reps,
+        repair=repair,
+        loss_rate=loss_rate,
+        crash_fraction=crash_fraction,
+        delivery_ratio=delivery_ratio(system.trace, expected),
+        duplicates_per_delivery=dups / deliveries if deliveries else 0.0,
+        repair_deliveries=system.trace.count("repair-delivered"),
+    )
+
+
+def _e7_cells(kwargs: dict) -> list[SweepCell]:
+    """One cell per (representatives, repair) combination."""
+    cells = []
+    for reps in kwargs["rep_counts"]:
+        for repair in kwargs["repair_options"]:
+            cells.append(
+                SweepCell(
+                    index=len(cells),
+                    label=f"reps={reps},repair={'on' if repair else 'off'}",
+                    runner=run_e7_cell,
+                    kwargs={
+                        "num_nodes": kwargs["num_nodes"],
+                        "items": kwargs["items"],
+                        "reps": reps,
+                        "repair": bool(repair),
+                        "loss_rate": kwargs["loss_rate"],
+                        "crash_fraction": kwargs["crash_fraction"],
+                        "seed": kwargs["seed"],
+                    },
+                )
+            )
+    return cells
+
+
+def _e7_merge(kwargs: dict, results: list) -> "E7Result":
+    return E7Result(list(results))
+
+
 @register(
     "e7",
     claim=(
@@ -72,6 +172,8 @@ class E7Result:
         'increase the robustness of the delivery" + epidemic repair'
     ),
     quick={"num_nodes": 120, "items": 5},
+    cells=_e7_cells,
+    merge=_e7_merge,
 )
 def run_e7(
     *,
@@ -89,67 +191,19 @@ def run_e7(
     validate_fraction("loss_rate", loss_rate)
     validate_fraction("crash_fraction", crash_fraction)
     validate_seed(seed)
-    subjects = subjects_for(("newswire",), TECH_CATEGORIES)
-    rows: list[E7Row] = []
-    for reps in rep_counts:
-        for repair in repair_options:
-            config = NewsWireConfig(
-                multicast=MulticastConfig(
-                    representatives=max(3, reps),
-                    send_to_representatives=reps,
-                    repair_enabled=repair,
-                    repair_interval=3.0,
-                )
-            )
-            interests = InterestModel(
-                subjects=subjects, subscriptions_per_node=3, seed=seed
-            )
-            system = build_newswire(
-                num_nodes,
-                config,
-                publisher_names=("newswire",),
-                publisher_rate=50.0,
-                subscriptions_for=interests.subscriptions_for,
-                seed=seed,
-                loss_rate=loss_rate,
-            )
-            system.run_for(2 * config.gossip.interval)
-            start = system.sim.now
-            trace = [
-                Publication(
-                    time=start + index * 1.0,
-                    subject=subjects[index % len(subjects)],
-                    headline=f"story {index}",
-                    body_words=120,
-                )
-                for index in range(items)
-            ]
-            drive_trace(system, "newswire", trace)
-            if crash_fraction > 0:
-                # Crash forwarders mid-dissemination; they stay down.
-                system.deployment.failures.crash_fraction(
-                    start + 0.05, system.nodes[1:], crash_fraction
-                )
-            system.sim.run_until(start + items * 1.0 + 60.0)
-
-            # Crashed nodes cannot deliver; expectation covers survivors.
-            crashed = {str(n.node_id) for n in system.nodes if n.crashed}
-            expected = _adjust_for_crashes(
-                interests, num_nodes, trace, "newswire", crashed, system
-            )
-            deliveries = system.trace.count("deliver")
-            dups = system.trace.count("dup-dropped")
-            rows.append(
-                E7Row(
-                    representatives=reps,
-                    repair=repair,
-                    loss_rate=loss_rate,
-                    crash_fraction=crash_fraction,
-                    delivery_ratio=delivery_ratio(system.trace, expected),
-                    duplicates_per_delivery=dups / deliveries if deliveries else 0.0,
-                    repair_deliveries=system.trace.count("repair-delivered"),
-                )
-            )
+    rows = [
+        run_e7_cell(
+            num_nodes=num_nodes,
+            items=items,
+            reps=reps,
+            repair=repair,
+            loss_rate=loss_rate,
+            crash_fraction=crash_fraction,
+            seed=seed,
+        )
+        for reps in rep_counts
+        for repair in repair_options
+    ]
     return E7Result(rows)
 
 

@@ -42,18 +42,91 @@ class ExperimentConfig:
 
 
 @dataclass(frozen=True)
+class SweepCell:
+    """One independent unit of an experiment's sweep.
+
+    ``runner`` must be a module-level callable (workers import it by
+    reference) and ``kwargs`` picklable; running every cell and folding
+    the results through the spec's merger must be byte-identical to the
+    serial run.  ``index`` is the canonical merge position.
+    """
+
+    index: int
+    label: str
+    runner: Callable[..., Any]
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
 class ExperimentSpec:
-    """One registered experiment: runner, claim, quick-mode parameters."""
+    """One registered experiment: runner, claim, quick-mode parameters.
+
+    Sweep-shaped experiments additionally carry a *cell decomposition
+    hook*: ``cell_planner`` maps the fully resolved runner kwargs to a
+    list of independent :class:`SweepCell`, and ``cell_merger`` folds
+    the per-cell results (in canonical ``index`` order) back into the
+    one ``*Result`` object the serial runner would have returned.  The
+    parallel executor (:mod:`repro.parallel`) drives those hooks;
+    specs without them always run serially.
+    """
 
     name: str
     claim: str
     runner: Callable[..., Any]
     quick_params: Mapping[str, Any] = field(default_factory=dict)
+    cell_planner: Optional[Callable[[Dict[str, Any]], "list[SweepCell]"]] = None
+    cell_merger: Optional[Callable[[Dict[str, Any], list], Any]] = None
 
     @property
     def parameters(self) -> tuple[str, ...]:
         """Keyword parameters the runner accepts."""
         return tuple(inspect.signature(self.runner).parameters)
+
+    @property
+    def supports_cells(self) -> bool:
+        """Whether this experiment can decompose into parallel cells."""
+        return self.cell_planner is not None and self.cell_merger is not None
+
+    def resolved_kwargs(self, config: "ExperimentConfig") -> Dict[str, Any]:
+        """:meth:`build_kwargs` plus the runner's own defaults.
+
+        Cell planners need every sweep axis, including those the caller
+        left at their defaults.
+        """
+        kwargs = self.build_kwargs(config)
+        resolved: Dict[str, Any] = {}
+        for name, parameter in inspect.signature(self.runner).parameters.items():
+            if parameter.default is not inspect.Parameter.empty:
+                resolved[name] = parameter.default
+        resolved.update(kwargs)
+        return resolved
+
+    def plan_cells(self, config: "ExperimentConfig") -> "list[SweepCell]":
+        """The canonical cell decomposition for ``config``.
+
+        Raises :class:`ConfigurationError` when the spec registered no
+        decomposition hook (check :attr:`supports_cells` first).
+        """
+        if not self.supports_cells:
+            raise ConfigurationError(
+                f"experiment {self.name!r} has no cell decomposition"
+            )
+        cells = self.cell_planner(self.resolved_kwargs(config))
+        for expected, cell in enumerate(cells):
+            if cell.index != expected:
+                raise ConfigurationError(
+                    f"experiment {self.name!r} planned cell {cell.label!r} "
+                    f"with index {cell.index}, expected {expected}"
+                )
+        return cells
+
+    def merge_cells(self, config: "ExperimentConfig", results: list) -> Any:
+        """Fold per-cell results (canonical order) into one ``*Result``."""
+        if not self.supports_cells:
+            raise ConfigurationError(
+                f"experiment {self.name!r} has no cell decomposition"
+            )
+        return self.cell_merger(self.resolved_kwargs(config), results)
 
     def build_kwargs(self, config: ExperimentConfig) -> Dict[str, Any]:
         """Merge quick params, overrides and the seed; validate names.
@@ -94,6 +167,8 @@ def register(
     *,
     claim: str,
     quick: Optional[Mapping[str, Any]] = None,
+    cells: Optional[Callable[[Dict[str, Any]], "list[SweepCell]"]] = None,
+    merge: Optional[Callable[[Dict[str, Any], list], Any]] = None,
 ) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
     """Decorator that registers the wrapped runner as experiment ``name``.
 
@@ -102,11 +177,20 @@ def register(
     ``--quick`` applies.  Quick keys are validated against the runner
     signature at registration time, so a drifting rename fails at
     import, not mid-run.
+
+    ``cells``/``merge`` (both or neither) register the sweep's cell
+    decomposition for the parallel executor: ``cells(resolved_kwargs)``
+    plans independent :class:`SweepCell` units, ``merge(resolved_kwargs,
+    results)`` reassembles their results into the serial ``*Result``.
     """
 
     def decorator(fn: Callable[..., Any]) -> Callable[..., Any]:
         if name in REGISTRY:
             raise ConfigurationError(f"experiment {name!r} registered twice")
+        if (cells is None) != (merge is None):
+            raise ConfigurationError(
+                f"experiment {name!r} must register cells and merge together"
+            )
         quick_params = dict(quick or {})
         accepted = set(inspect.signature(fn).parameters)
         unknown = sorted(set(quick_params) - accepted)
@@ -116,7 +200,12 @@ def register(
                 f"signature {sorted(accepted)}"
             )
         REGISTRY[name] = ExperimentSpec(
-            name=name, claim=claim, runner=fn, quick_params=quick_params
+            name=name,
+            claim=claim,
+            runner=fn,
+            quick_params=quick_params,
+            cell_planner=cells,
+            cell_merger=merge,
         )
         return fn
 

@@ -43,6 +43,10 @@ class Counter:
     def inc(self, amount: int = 1) -> None:
         self.value += amount
 
+    def merge(self, other: "Counter") -> None:
+        """Fold another counter's total in (parallel-worker aggregation)."""
+        self.value += other.value
+
     def __repr__(self) -> str:
         return f"Counter({self.name}={self.value})"
 
@@ -64,6 +68,17 @@ class Gauge:
 
     def add(self, amount: float) -> None:
         self.set(self.value + amount)
+
+    def merge(self, other: "Gauge") -> None:
+        """Fold a *later* gauge in: its value wins, maxima combine.
+
+        Merging per-worker registries in canonical cell order with
+        last-value-wins reproduces exactly what a serial run would have
+        left behind (the last cell's value, the global high-water mark).
+        """
+        self.value = other.value
+        if other.maximum > self.maximum:
+            self.maximum = other.maximum
 
     def __repr__(self) -> str:
         return f"Gauge({self.name}={self.value}, max={self.maximum})"
@@ -107,6 +122,22 @@ class HistogramData:
             else:
                 lo = mid + 1
         self.counts[lo] += 1
+
+    def merge(self, other: "HistogramData") -> None:
+        """Fold another histogram's buckets in (same bounds required)."""
+        if other.bounds != self.bounds:
+            raise ConfigurationError(
+                "cannot merge histograms with different bucket bounds: "
+                f"{self.bounds} vs {other.bounds}"
+            )
+        for index, bucket_count in enumerate(other.counts):
+            self.counts[index] += bucket_count
+        self.count += other.count
+        self.total += other.total
+        if other.minimum < self.minimum:
+            self.minimum = other.minimum
+        if other.maximum > self.maximum:
+            self.maximum = other.maximum
 
     @property
     def mean(self) -> float:
@@ -216,6 +247,25 @@ class MetricsRegistry:
             Histogram,
             lambda: Histogram(name, bounds if bounds is not None else DEFAULT_BUCKETS),
         )
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's instruments into this one.
+
+        The parallel sweep executor gives every worker its own registry
+        and folds them back in canonical cell order: counters add,
+        gauges take the later value (maxima combine), histograms add
+        bucket counts.  A name registered with different types on the
+        two sides is a :class:`ConfigurationError`.
+        """
+        for name in sorted(other._metrics):
+            metric = other._metrics[name]
+            if isinstance(metric, Counter):
+                self.counter(name).merge(metric)
+            elif isinstance(metric, Gauge):
+                self.gauge(name).merge(metric)
+            else:
+                mine = self.histogram(name, metric.data.bounds)
+                mine.data.merge(metric.data)
 
     def get(self, name: str) -> Optional[Metric]:
         return self._metrics.get(name)

@@ -166,6 +166,47 @@ class StreamingSink:
     def count(self, kind: str) -> int:
         return self.counts.get(kind, 0)
 
+    def merge(self, other: "StreamingSink") -> None:
+        """Fold another sink's aggregates in (parallel-worker merge).
+
+        Both sinks must watch the same kinds and share histogram
+        bounds; merging in canonical cell order keeps the combined
+        aggregates identical to one sink observing the whole run.
+        """
+        if (
+            other.latency_kind != self.latency_kind
+            or other.forward_kind != self.forward_kind
+        ):
+            raise ValueError(
+                "cannot merge StreamingSinks watching different kinds: "
+                f"({self.latency_kind!r}, {self.forward_kind!r}) vs "
+                f"({other.latency_kind!r}, {other.forward_kind!r})"
+            )
+        self.events_seen += other.events_seen
+        for kind, count in other.counts.items():
+            self.counts[kind] = self.counts.get(kind, 0) + count
+        self.latency.merge(other.latency)
+        for item, count in other.deliveries_per_item.items():
+            self.deliveries_per_item[item] = (
+                self.deliveries_per_item.get(item, 0) + count
+            )
+        for node, count in other.deliveries_per_node.items():
+            self.deliveries_per_node[node] = (
+                self.deliveries_per_node.get(node, 0) + count
+            )
+        for target, count in other.forwards_per_target.items():
+            self.forwards_per_target[target] = (
+                self.forwards_per_target.get(target, 0) + count
+            )
+        if other.first_time is not None and (
+            self.first_time is None or other.first_time < self.first_time
+        ):
+            self.first_time = other.first_time
+        if other.last_time is not None and (
+            self.last_time is None or other.last_time > self.last_time
+        ):
+            self.last_time = other.last_time
+
     def clear(self) -> None:
         self.counts.clear()
         self.latency = HistogramData(self.latency.bounds)
@@ -224,14 +265,26 @@ class JsonlFileSink:
 
     Fields are normalized with :func:`normalize_field`: containers
     become JSON arrays/objects recursively, non-native scalars
-    (``ZonePath``, ``ItemId``...) become strings.  The file is
-    line-buffered via the underlying file object; call :meth:`close`
-    (or use the sink as a context manager) to flush.
+    (``ZonePath``, ``ItemId``...) become strings.  The file is opened
+    *line-buffered* (``buffering=1``), so every emitted event reaches
+    the OS before the next one — a crash mid-run loses at most the
+    line being written, never the buffered tail of the trace.
+
+    Semantics of the sink protocol here:
+
+    * :meth:`clear` is a no-op — lines already written are an artifact
+      on disk, not in-memory state to drop;
+    * :meth:`close` closes the file (flushing any partial line) and is
+      idempotent; emits after ``close()`` are silently ignored.  Use
+      the sink as a context manager to get ``close()`` on exit.
     """
 
     def __init__(self, path: Union[str, Path]):
         self.path = Path(path)
-        self._file: Optional[IO[str]] = self.path.open("w", encoding="utf-8")
+        # buffering=1: line-buffered, matching the docstring's promise.
+        self._file: Optional[IO[str]] = self.path.open(
+            "w", encoding="utf-8", buffering=1
+        )
         self.lines_written = 0
 
     def emit(self, time: float, kind: str, fields: Mapping[str, Any]) -> None:

@@ -1,0 +1,31 @@
+"""Process-parallel sweep execution with deterministic merge.
+
+The experiments CLI runs parameter sweeps serially by default; this
+package decomposes a sweep-shaped experiment into independent cells
+(sizes × seeds × scheme variants, planned by the spec's
+``cell_planner``), runs them in ``multiprocessing`` workers (spawn
+context), and merges the streamed-back results in canonical cell
+order — so reports, golden fingerprints, ``--json`` manifests and
+invariant verdicts are byte-identical to a serial run.  See
+``docs/PARALLEL.md`` for the determinism contract.
+"""
+
+from repro.parallel.executor import (
+    CellFailure,
+    CellOutcome,
+    ParallelExecutionError,
+    ParallelRun,
+    derive_cell_stream,
+    run_cells,
+    run_spec_parallel,
+)
+
+__all__ = [
+    "CellFailure",
+    "CellOutcome",
+    "ParallelExecutionError",
+    "ParallelRun",
+    "derive_cell_stream",
+    "run_cells",
+    "run_spec_parallel",
+]

@@ -1,0 +1,344 @@
+"""The process-per-cell sweep executor.
+
+Execution model
+---------------
+
+A sweep-shaped experiment decomposes into :class:`~repro.experiments.
+registry.SweepCell` units (one population size, one scheme variant,
+one fuzz seed...).  Each cell is shipped to a worker process over a
+task queue; workers run cells and stream a :class:`CellOutcome` —
+result object, per-cell provenance, optional metrics registry and
+invariant violations — back over a result queue.  The parent collects
+every outcome and reassembles them in canonical cell order, so the
+merged result is independent of worker scheduling.
+
+Determinism contract
+--------------------
+
+* Workers use the ``spawn`` start method: no forked parent state, no
+  inherited RNG positions.
+* Every worker re-seeds the global :mod:`random` stream from the
+  explicit ``(experiment, cell, seed)`` derivation
+  (:func:`derive_cell_stream`, built on the same collision-free
+  :func:`repro.sim.rng.derive_substream` that derives per-subscriber
+  interest streams).  Well-behaved cells never touch the global
+  stream, but a derivation this explicit makes any accidental use
+  deterministic too.
+* Cells must be independent: each builds its own system from explicit
+  seeds.  The spec's planner/merger pair owns that guarantee; the
+  equivalence tests (``tests/parallel/``) and the golden fingerprints
+  enforce it.
+"""
+
+from __future__ import annotations
+
+import inspect
+import multiprocessing
+import os
+import random
+import time
+import traceback
+from queue import Empty
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.errors import ConfigurationError
+from repro.sim.rng import derive_seed, derive_substream
+
+#: How long the parent waits between liveness checks while collecting
+#: results; a dead worker with outstanding cells fails the run instead
+#: of hanging it.
+_POLL_INTERVAL_S = 0.2
+
+
+def derive_cell_stream(experiment: str, cell_index: int, seed: Optional[int]) -> int:
+    """The explicit ``(experiment, cell, seed)`` worker stream id.
+
+    The experiment name is folded to 64 bits with the blake2b
+    :func:`~repro.sim.rng.derive_seed` and combined with the cell
+    index through the collision-free
+    :func:`~repro.sim.rng.derive_substream` concatenation — the same
+    derivation :class:`~repro.workloads.populations.InterestModel`
+    uses for per-subscriber streams.
+    """
+    return derive_substream(derive_seed(seed or 0, f"cell:{experiment}"), cell_index)
+
+
+@dataclass(frozen=True)
+class _CellTask:
+    """What the parent ships to a worker: one cell plus run policy."""
+
+    index: int
+    label: str
+    runner: Any
+    kwargs: Dict[str, Any]
+    experiment: str
+    seed: Optional[int]
+    want_metrics: bool
+    want_suite: bool
+
+
+@dataclass
+class CellOutcome:
+    """What a worker streams back for one cell."""
+
+    index: int
+    label: str
+    result: Any = None
+    #: Per-worker metrics registry (when the cell accepted one).
+    metrics: Any = None
+    #: Invariant violations from the per-cell suite (when attached).
+    violations: List[Any] = field(default_factory=list)
+    #: Lightweight per-cell provenance: derivation, cost, worker pid.
+    manifest: Dict[str, Any] = field(default_factory=dict)
+    #: Formatted traceback when the cell raised; None on success.
+    error: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """One failed cell, for :class:`ParallelExecutionError`."""
+
+    label: str
+    error: str
+
+
+class ParallelExecutionError(RuntimeError):
+    """One or more cells (or workers) failed."""
+
+    def __init__(self, experiment: str, failures: Sequence[CellFailure]):
+        self.experiment = experiment
+        self.failures = list(failures)
+        details = "\n".join(
+            f"--- cell {failure.label} ---\n{failure.error.rstrip()}"
+            for failure in self.failures
+        )
+        super().__init__(
+            f"{len(self.failures)} cell(s) of experiment {experiment!r} "
+            f"failed:\n{details}"
+        )
+
+
+@dataclass
+class ParallelRun:
+    """The merged view of one parallel sweep execution."""
+
+    result: Any
+    #: Merged metrics registry (canonical-order fold), or None.
+    metrics: Any = None
+    #: Violations concatenated in canonical cell order.
+    violations: List[Any] = field(default_factory=list)
+    #: Per-cell provenance records, canonical order.
+    cells: List[Dict[str, Any]] = field(default_factory=list)
+
+
+def _accepts(runner: Any, name: str) -> bool:
+    try:
+        return name in inspect.signature(runner).parameters
+    except (TypeError, ValueError):
+        return False
+
+
+def _execute_cell(task: _CellTask) -> CellOutcome:
+    """Run one cell in the current process (worker side)."""
+    # Explicit worker re-seed: protects determinism even if some code
+    # path reaches for the module-level random stream.
+    stream = derive_cell_stream(task.experiment, task.index, task.seed)
+    random.seed(stream)
+    outcome = CellOutcome(index=task.index, label=task.label)
+    kwargs = dict(task.kwargs)
+    registry = None
+    if task.want_metrics and _accepts(task.runner, "metrics"):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        kwargs["metrics"] = registry
+    suite = None
+    if task.want_suite and _accepts(task.runner, "sinks"):
+        from repro.obs.sinks import MemorySink
+        from repro.testkit.invariants import InvariantSuite
+
+        suite = InvariantSuite()
+        kwargs["sinks"] = [MemorySink(), suite]
+    started = time.perf_counter()
+    try:
+        outcome.result = task.runner(**kwargs)
+        if suite is not None:
+            outcome.violations = suite.finalize(None)
+    except BaseException:
+        outcome.error = traceback.format_exc()
+    outcome.metrics = registry
+    outcome.manifest = {
+        "experiment": task.experiment,
+        "cell": task.index,
+        "label": task.label,
+        "seed": task.seed,
+        "worker_stream": stream,
+        "wall_time_s": time.perf_counter() - started,
+        "pid": os.getpid(),
+    }
+    return outcome
+
+
+def _worker_loop(task_queue, result_queue) -> None:
+    """Worker main: drain cells until the None sentinel arrives."""
+    while True:
+        task = task_queue.get()
+        if task is None:
+            return
+        try:
+            outcome = _execute_cell(task)
+        except BaseException:  # never die silently with a cell in hand
+            outcome = CellOutcome(
+                index=task.index, label=task.label, error=traceback.format_exc()
+            )
+        result_queue.put(outcome)
+
+
+def run_cells(
+    cells,
+    *,
+    workers: int,
+    experiment: str,
+    seed: Optional[int] = None,
+    want_metrics: bool = False,
+    want_suite: bool = False,
+) -> List[CellOutcome]:
+    """Run ``cells`` across ``workers`` processes; canonical-order outcomes.
+
+    With ``workers <= 1`` (or a single cell) everything runs in-process
+    — the exact serial path, no subprocess round-trip.  Raises
+    :class:`ParallelExecutionError` if any cell raised or a worker
+    died; otherwise returns one :class:`CellOutcome` per cell, ordered
+    by cell index regardless of completion order.
+    """
+    cells = list(cells)
+    if not cells:
+        return []
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    tasks = [
+        _CellTask(
+            index=cell.index,
+            label=cell.label,
+            runner=cell.runner,
+            kwargs=dict(cell.kwargs),
+            experiment=experiment,
+            seed=seed,
+            want_metrics=want_metrics,
+            want_suite=want_suite,
+        )
+        for cell in cells
+    ]
+    if workers == 1 or len(cells) == 1:
+        outcomes = [_execute_cell(task) for task in tasks]
+    else:
+        outcomes = _run_in_pool(tasks, min(workers, len(cells)))
+    outcomes.sort(key=lambda outcome: outcome.index)
+    failures = [
+        CellFailure(label=o.label, error=o.error) for o in outcomes if o.error
+    ]
+    if failures:
+        raise ParallelExecutionError(experiment, failures)
+    return outcomes
+
+
+def _run_in_pool(tasks: List[_CellTask], workers: int) -> List[CellOutcome]:
+    context = multiprocessing.get_context("spawn")
+    task_queue = context.Queue()
+    result_queue = context.Queue()
+    processes = [
+        context.Process(
+            target=_worker_loop, args=(task_queue, result_queue), daemon=True
+        )
+        for _ in range(workers)
+    ]
+    for process in processes:
+        process.start()
+    try:
+        for task in tasks:
+            task_queue.put(task)
+        for _ in processes:
+            task_queue.put(None)
+        outcomes: List[CellOutcome] = []
+        while len(outcomes) < len(tasks):
+            try:
+                outcomes.append(result_queue.get(timeout=_POLL_INTERVAL_S))
+            except Empty:  # no result yet — check worker liveness
+                if all(not process.is_alive() for process in processes):
+                    # Drain whatever made it onto the queue first.
+                    while len(outcomes) < len(tasks):
+                        try:
+                            outcomes.append(result_queue.get_nowait())
+                        except Empty:
+                            break
+                    if len(outcomes) < len(tasks):
+                        done = {outcome.index for outcome in outcomes}
+                        missing = [
+                            task.label for task in tasks if task.index not in done
+                        ]
+                        raise ParallelExecutionError(
+                            tasks[0].experiment,
+                            [
+                                CellFailure(
+                                    label=label,
+                                    error="worker died before returning a result",
+                                )
+                                for label in missing
+                            ],
+                        )
+        return outcomes
+    finally:
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+            process.join(timeout=5.0)
+        task_queue.close()
+        result_queue.close()
+
+
+def run_spec_parallel(
+    spec,
+    config,
+    *,
+    workers: int,
+    want_metrics: bool = False,
+    want_suite: bool = False,
+) -> ParallelRun:
+    """Run one registered experiment's sweep across worker processes.
+
+    ``spec`` must support cell decomposition
+    (:attr:`~repro.experiments.registry.ExperimentSpec.supports_cells`);
+    the caller owns that check and the serial fallback.  Per-cell
+    metrics registries are folded into one in canonical order
+    (:meth:`~repro.obs.metrics.MetricsRegistry.merge`), violations are
+    concatenated in canonical order, and the merged result object is
+    byte-identical to what ``spec.run(config)`` returns.
+    """
+    cells = spec.plan_cells(config)
+    outcomes = run_cells(
+        cells,
+        workers=workers,
+        experiment=spec.name,
+        seed=config.seed,
+        want_metrics=want_metrics,
+        want_suite=want_suite,
+    )
+    result = spec.merge_cells(config, [outcome.result for outcome in outcomes])
+    merged_metrics = None
+    if want_metrics:
+        from repro.obs.metrics import MetricsRegistry
+
+        merged_metrics = MetricsRegistry()
+        for outcome in outcomes:
+            if outcome.metrics is not None:
+                merged_metrics.merge(outcome.metrics)
+    violations: List[Any] = []
+    for outcome in outcomes:
+        violations.extend(outcome.violations)
+    return ParallelRun(
+        result=result,
+        metrics=merged_metrics,
+        violations=violations,
+        cells=[outcome.manifest for outcome in outcomes],
+    )

@@ -11,10 +11,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from itertools import accumulate
 from typing import Dict, Sequence
 
 from repro.core.errors import ConfigurationError
 from repro.pubsub.subscription import Subscription
+from repro.sim.rng import derive_rng
 
 
 def zipf_weights(count: int, exponent: float = 1.0) -> list[float]:
@@ -44,10 +46,20 @@ class InterestModel:
         if not 0.0 <= self.predicate_probability <= 1.0:
             raise ConfigurationError("predicate_probability must be in [0, 1]")
         self._weights = zipf_weights(len(self.subjects), self.zipf_exponent)
+        # Hoisted out of the per-node rejection-sampling loop: the
+        # subject list and the cumulative weights are invariant, and
+        # rebuilding them per draw made construction quadratic-ish at
+        # large subscriptions_per_node / high skew.
+        self._subject_list = list(self.subjects)
+        self._cum_weights = list(accumulate(self._weights))
         self._assignments: Dict[int, tuple[Subscription, ...]] = {}
 
     def _rng_for(self, index: int) -> random.Random:
-        return random.Random((self.seed << 20) ^ index)
+        # Collision-free (seed, index) substream: the historical
+        # ``(seed << 20) ^ index`` derivation collided for distinct
+        # pairs once index reached 2**20 — exactly the 10^5–10^6-node
+        # scale target — silently duplicating interest profiles.
+        return derive_rng(self.seed, index)
 
     def subscriptions_for(self, index: int) -> tuple[Subscription, ...]:
         """Deterministic per-subscriber interests (cached)."""
@@ -58,7 +70,9 @@ class InterestModel:
         count = min(self.subscriptions_per_node, len(self.subjects))
         picked: list[str] = []
         while len(picked) < count:
-            subject = rng.choices(list(self.subjects), weights=self._weights, k=1)[0]
+            subject = rng.choices(
+                self._subject_list, cum_weights=self._cum_weights, k=1
+            )[0]
             if subject not in picked:
                 picked.append(subject)
         subscriptions = []

@@ -123,6 +123,39 @@ class TestJsonlFileSink:
         assert record["nested"] == {"counts": [1, 2], "who": ["x"]}
         assert "(" not in path.read_text()  # no stringified tuples
 
+    def test_line_buffered_lines_visible_before_close(self, tmp_path):
+        # buffering=1 — each emitted line reaches the OS immediately,
+        # so a concurrent reader (or a crash) sees every whole line
+        # without waiting for close().
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlFileSink(path)
+        try:
+            sink.emit(0.0, "publish", {"item": "i1"})
+            sink.emit(1.0, "deliver", {"item": "i1"})
+            lines = path.read_text().strip().split("\n")
+            assert len(lines) == 2
+            assert json.loads(lines[1])["kind"] == "deliver"
+        finally:
+            sink.close()
+
+    def test_clear_keeps_written_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlFileSink(path) as sink:
+            sink.emit(0.0, "x", {})
+            sink.clear()  # a no-op: the file is an artifact, not state
+            sink.emit(1.0, "y", {})
+        assert len(path.read_text().strip().split("\n")) == 2
+
+    def test_close_idempotent_and_emits_after_close_ignored(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlFileSink(path)
+        sink.emit(0.0, "x", {})
+        sink.close()
+        sink.close()  # second close is a no-op, not an error
+        sink.emit(1.0, "y", {})  # silently ignored
+        assert sink.lines_written == 1
+        assert len(path.read_text().strip().split("\n")) == 1
+
     def test_normalize_field_recurses_and_falls_back_to_str(self):
         class Opaque:
             def __str__(self):

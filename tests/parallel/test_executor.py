@@ -1,0 +1,131 @@
+"""Tests for the process-per-cell executor itself.
+
+Pool tests use :func:`repro.sim.rng.splitmix64` as the cell runner —
+a module-level, picklable, pure function — so they exercise the real
+spawn + queue machinery without simulation cost.
+"""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.experiments.registry import SweepCell, get_spec
+from repro.parallel import (
+    ParallelExecutionError,
+    derive_cell_stream,
+    run_cells,
+)
+from repro.sim.rng import splitmix64
+
+
+def _mix_cells(values):
+    return [
+        SweepCell(
+            index=i, label=f"value={v}", runner=splitmix64, kwargs={"value": v}
+        )
+        for i, v in enumerate(values)
+    ]
+
+
+class TestDeriveCellStream:
+    def test_deterministic(self):
+        assert derive_cell_stream("e2", 3, 7) == derive_cell_stream("e2", 3, 7)
+
+    def test_distinct_across_experiments_cells_seeds(self):
+        streams = {
+            derive_cell_stream(experiment, cell, seed)
+            for experiment in ("e2", "e5", "fuzz")
+            for cell in (0, 1, 2**20)
+            for seed in (None, 1, 2)
+        }
+        # seed=None folds to 0, which is distinct from 1 and 2.
+        assert len(streams) == 3 * 3 * 3
+
+    def test_none_seed_means_zero(self):
+        assert derive_cell_stream("e2", 0, None) == derive_cell_stream("e2", 0, 0)
+
+
+class TestRunCellsInProcess:
+    def test_empty(self):
+        assert run_cells([], workers=1, experiment="t") == []
+
+    def test_results_in_canonical_order(self):
+        values = [9, 4, 7, 1]
+        outcomes = run_cells(_mix_cells(values), workers=1, experiment="t")
+        assert [o.index for o in outcomes] == [0, 1, 2, 3]
+        assert [o.result for o in outcomes] == [splitmix64(v) for v in values]
+
+    def test_manifest_provenance(self):
+        (outcome,) = run_cells(
+            _mix_cells([5]), workers=1, experiment="t", seed=3
+        )
+        manifest = outcome.manifest
+        assert manifest["experiment"] == "t"
+        assert manifest["cell"] == 0
+        assert manifest["seed"] == 3
+        assert manifest["worker_stream"] == derive_cell_stream("t", 0, 3)
+        assert manifest["wall_time_s"] >= 0.0
+        assert isinstance(manifest["pid"], int)
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            run_cells(_mix_cells([1]), workers=0, experiment="t")
+
+    def test_failing_cell_raises_with_label_and_traceback(self):
+        cells = _mix_cells([1, 2])
+        bad = SweepCell(
+            index=2, label="bad", runner=splitmix64, kwargs={"nope": 1}
+        )
+        with pytest.raises(ParallelExecutionError) as excinfo:
+            run_cells(cells + [bad], workers=1, experiment="t")
+        error = excinfo.value
+        assert error.experiment == "t"
+        assert [f.label for f in error.failures] == ["bad"]
+        assert "TypeError" in error.failures[0].error
+
+
+class TestRunCellsPool:
+    def test_pool_matches_in_process(self):
+        values = [3, 1, 4, 1, 5, 9, 2, 6]
+        serial = run_cells(_mix_cells(values), workers=1, experiment="t")
+        pooled = run_cells(_mix_cells(values), workers=3, experiment="t")
+        assert [o.result for o in pooled] == [o.result for o in serial]
+        assert [o.index for o in pooled] == [o.index for o in serial]
+        assert [o.label for o in pooled] == [o.label for o in serial]
+
+    def test_pool_runs_in_child_processes(self):
+        import os
+
+        outcomes = run_cells(_mix_cells([1, 2, 3, 4]), workers=2, experiment="t")
+        pids = {o.manifest["pid"] for o in outcomes}
+        assert os.getpid() not in pids
+
+    def test_pool_failure_collected(self):
+        cells = _mix_cells([1, 2, 3])
+        bad = SweepCell(
+            index=3, label="bad", runner=splitmix64, kwargs={"nope": 1}
+        )
+        with pytest.raises(ParallelExecutionError) as excinfo:
+            run_cells(cells + [bad], workers=2, experiment="t")
+        assert [f.label for f in excinfo.value.failures] == ["bad"]
+
+
+class TestSpecCellPlanning:
+    def test_decomposable_specs_advertise_cells(self):
+        for name in ("e2", "e5", "e7"):
+            assert get_spec(name).supports_cells
+
+    def test_plan_cells_canonically_indexed(self):
+        from repro.experiments.registry import ExperimentConfig
+
+        spec = get_spec("e2")
+        cells = spec.plan_cells(ExperimentConfig(quick=True))
+        assert [cell.index for cell in cells] == list(range(len(cells)))
+        assert len(cells) == 2  # quick sizes: (100, 400)
+
+    def test_non_decomposable_spec_refuses(self):
+        from repro.experiments.registry import ExperimentConfig
+
+        spec = get_spec("e1")
+        assert not spec.supports_cells
+        with pytest.raises(ConfigurationError):
+            spec.plan_cells(ExperimentConfig(quick=True))

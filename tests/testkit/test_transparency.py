@@ -25,11 +25,11 @@ E2_SMALL_KWARGS = dict(
 )
 
 E2_SMALL_GOLDEN = (
-    48, 3, 68, 68, 1.0,
-    0.07796391124310853,
-    0.10660346298054517,
-    0.11764236234170554,
-    0.11785848519919195,
+    48, 3, 71, 71, 1.0,
+    0.07920745575383048,
+    0.11288422608405124,
+    0.1264471050192081,
+    0.12767120304479818,
 )
 
 

@@ -74,3 +74,35 @@ class TestInterestModel:
             InterestModel(SUBJECTS, subscriptions_per_node=0)
         with pytest.raises(ConfigurationError):
             InterestModel(SUBJECTS, predicate_probability=2.0)
+
+    def test_no_stream_collision_across_shift_boundary(self):
+        # Regression: the old per-node derivation (seed << 20) ^ index
+        # made (seed=0, index=2**20) and (seed=1, index=0) share a
+        # stream, so huge populations repeated earlier populations'
+        # subscription draws.  The pairs must now differ.
+        low_seed = InterestModel(
+            SUBJECTS, subscriptions_per_node=3, zipf_exponent=1.2, seed=0
+        )
+        high_seed = InterestModel(
+            SUBJECTS, subscriptions_per_node=3, zipf_exponent=1.2, seed=1
+        )
+        assert low_seed.subscriptions_for(2**20) != high_seed.subscriptions_for(0)
+
+    def test_streams_distinct_on_seed_index_grid(self):
+        # Many (seed, index) pairs, indices straddling 2**20: draws
+        # should all differ (10 choose-3 sets of subjects + predicate
+        # coin flips make accidental equality effectively impossible).
+        draws = set()
+        pairs = 0
+        for seed in range(4):
+            model = InterestModel(
+                SUBJECTS,
+                subscriptions_per_node=3,
+                zipf_exponent=1.2,
+                predicate_probability=0.5,
+                seed=seed,
+            )
+            for index in (0, 1, 2**20 - 1, 2**20, 2**20 + 1):
+                draws.add(tuple(model.subscriptions_for(index)))
+                pairs += 1
+        assert len(draws) == pairs
