@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-quick lint fuzz bench bench-pytest bench-sweep sweep experiments experiments-quick report examples clean
+.PHONY: install test test-fast test-quick lint fuzz bench bench-pytest bench-sweep sweep experiments experiments-quick report examples live clean
 
 install:
 	pip install -e '.[test]'
@@ -32,8 +32,11 @@ lint:
 fuzz:
 	$(PYTHON) -m repro.testkit.fuzz --seeds 25 --quick --keep-going
 
+# Substrate microbenchmarks + the perf gate: fails if any hot path
+# regresses past its per-workload tolerance vs the recorded baseline.
 bench:
 	PYTHONPATH=src $(PYTHON) -m repro.experiments.bench_substrate -o BENCH_substrate.json
+	$(PYTHON) benchmarks/check_bench.py
 
 bench-pytest:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -59,6 +62,11 @@ experiments-quick:
 # (critical paths, hop counts, loss attribution; docs/OBSERVABILITY.md).
 report:
 	$(PYTHON) -m repro.experiments e2 e11 --quick --report
+
+# 50 live UDP nodes across 4 worker processes on localhost; fails
+# under 99% delivery or without duplicate suppression (docs/RUNTIME.md).
+live:
+	PYTHONPATH=src $(PYTHON) -m repro.live --nodes 50
 
 examples:
 	$(PYTHON) examples/quickstart.py

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Performance gate: fail when the substrate hot paths regress.
+
+Compares a fresh ``BENCH_substrate.json`` (written by ``make bench``)
+against the recorded pre-optimisation baseline in
+``benchmarks/BASELINE_substrate.json``.  Each workload carries its own
+tolerance: the maximum acceptable ratio of current wall time to the
+*baseline* wall time.  The tolerances are set well below 1.0 — the
+current tree is 1.7–7× faster than the baseline, so a gate at the
+baseline itself would never fire; instead each bound preserves most of
+the recorded speedup while leaving ~1.5× headroom for machine noise.
+
+Also cross-checks the deterministic guard values: a guard mismatch
+means the benchmark is no longer computing the same work, which would
+make the timing comparison meaningless.
+
+Exit status 0 when every workload passes, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Max allowed current/baseline wall-time ratio per workload.  The
+#: "recorded ratio" column in `make bench` output shows the headroom.
+TOLERANCES = {
+    "event_loop_churn": 0.50,
+    "antientropy_digest": 0.60,
+    "aql_zone_aggregation": 0.25,
+    "bloom_forward_test": 0.90,
+}
+
+#: Fallback for workloads added after this gate was written.
+DEFAULT_TOLERANCE = 1.10
+
+
+def check(current_path: Path, baseline_path: Path) -> int:
+    current_doc = json.loads(current_path.read_text(encoding="utf-8"))
+    baseline_doc = json.loads(baseline_path.read_text(encoding="utf-8"))
+    current = current_doc.get("current", {})
+    baseline = baseline_doc.get("benchmarks", {})
+
+    failures = []
+    print(f"{'workload':<24} {'base(s)':>9} {'now(s)':>9} "
+          f"{'ratio':>6} {'limit':>6}  verdict")
+    for name, base in sorted(baseline.items()):
+        entry = current.get(name)
+        if entry is None:
+            failures.append(f"{name}: missing from {current_path}")
+            print(f"{name:<24} {'-':>9} {'-':>9} {'-':>6} {'-':>6}  MISSING")
+            continue
+        if entry.get("guard") != base.get("guard"):
+            failures.append(
+                f"{name}: guard drifted ({entry.get('guard')} != "
+                f"{base.get('guard')}) — benchmark no longer computes "
+                "the baseline's work"
+            )
+        limit = TOLERANCES.get(name, DEFAULT_TOLERANCE)
+        ratio = entry["seconds"] / base["seconds"]
+        verdict = "ok" if ratio <= limit else "REGRESSED"
+        if ratio > limit:
+            failures.append(
+                f"{name}: {entry['seconds']:.4f}s is {ratio:.2f}x the "
+                f"baseline (limit {limit:.2f}x)"
+            )
+        print(
+            f"{name:<24} {base['seconds']:>9.4f} {entry['seconds']:>9.4f} "
+            f"{ratio:>6.2f} {limit:>6.2f}  {verdict}"
+        )
+
+    if failures:
+        print(f"\nperf gate FAILED ({len(failures)} problem(s)):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+def main(argv=None) -> int:
+    root = Path(__file__).resolve().parent.parent
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--current", type=Path, default=root / "BENCH_substrate.json"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=root / "benchmarks" / "BASELINE_substrate.json",
+    )
+    args = parser.parse_args(argv)
+    return check(args.current, args.baseline)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

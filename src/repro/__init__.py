@@ -21,6 +21,9 @@ Quick start::
 Package map
 -----------
 
+* :mod:`repro.runtime` — the execution seam: one protocol codebase on
+  the simulator (:class:`SimRuntime`) or live asyncio UDP sockets
+  (:class:`AsyncioUdpRuntime`); see ``docs/RUNTIME.md``.
 * :mod:`repro.sim` — deterministic discrete-event simulation substrate.
 * :mod:`repro.gossip` — peer sampling, anti-entropy, rumor buffers.
 * :mod:`repro.astrolabe` — hierarchical gossip-based aggregation
@@ -35,15 +38,32 @@ Package map
 """
 
 from repro.core import NewsWireConfig
+from repro.experiments.common import SystemSpec, build_system
 from repro.news import NewsItem, NewsWireSystem, build_newswire
 from repro.pubsub import Subscription
+from repro.runtime import Runtime, SimRuntime
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "AsyncioUdpRuntime",
     "NewsItem",
     "NewsWireConfig",
     "NewsWireSystem",
+    "Runtime",
+    "SimRuntime",
     "Subscription",
+    "SystemSpec",
     "build_newswire",
+    "build_system",
 ]
+
+
+def __getattr__(name: str):
+    # Lazy, mirroring repro.runtime: importing repro must not pull in
+    # asyncio machinery for simulation-only workloads.
+    if name == "AsyncioUdpRuntime":
+        from repro.runtime.asyncio_udp import AsyncioUdpRuntime
+
+        return AsyncioUdpRuntime
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

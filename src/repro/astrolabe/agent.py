@@ -32,8 +32,8 @@ from repro.core.config import NewsWireConfig
 from repro.core.errors import CertificateError, ZoneError
 from repro.core.identifiers import NodeId, ZonePath
 from repro.gossip.antientropy import Version, VersionedStore
-from repro.sim.engine import Simulation
-from repro.sim.network import Network
+from repro.runtime.compat import coerce_runtime
+from repro.runtime.interface import Runtime
 from repro.sim.node import Process
 from repro.sim.trace import TraceLog
 from repro.astrolabe.aql import compile_program
@@ -63,18 +63,23 @@ class AstrolabeAgent(Process):
     def __init__(
         self,
         node_id: NodeId,
-        sim: Simulation,
-        network: Network,
-        config: NewsWireConfig,
-        keychain: KeyChain,
+        runtime: Runtime,
+        config: Optional[NewsWireConfig] = None,
+        keychain: Optional[KeyChain] = None,
         trace: Optional[TraceLog] = None,
+        *legacy: Any,
     ):
+        runtime, (config, keychain, trace) = coerce_runtime(
+            runtime, (config, keychain, trace), legacy, 3
+        )
+        if config is None or keychain is None:
+            raise TypeError("AstrolabeAgent requires a config and a keychain")
         if node_id.depth < 1:
             raise ZoneError("an agent needs a leaf path below the root")
-        super().__init__(node_id, sim, network)
+        super().__init__(node_id, runtime)
         self.config = config
         self.keychain = keychain
-        self.trace = trace if trace is not None else TraceLog(sim, kinds=set())
+        self.trace = trace if trace is not None else TraceLog(runtime, kinds=set())
         # Instruments are looked up once here; gossip hot paths then pay
         # a single attribute increment per observation.
         metrics = self.trace.metrics
@@ -107,7 +112,7 @@ class AstrolabeAgent(Process):
             ZonePath, tuple[tuple[int, int], Dict[str, AttributeValue]]
         ] = {}
         self._listeners: list[TableListener] = []
-        self._rng = sim.rng("gossip")
+        self._rng = runtime.rng("gossip")
         self._gossip_timer = None
         #: Contacts seen recently, kept across expiry so an agent whose
         #: rows all aged out (e.g. after a long crash) can re-join
@@ -118,11 +123,11 @@ class AstrolabeAgent(Process):
     def _stamp(self) -> float:
         """A strictly increasing local timestamp.
 
-        Two row updates within the same simulation instant must produce
-        ordered versions, or the second write loses the LWW merge
-        against the first and is silently discarded.
+        Two row updates within the same instant must produce ordered
+        versions, or the second write loses the LWW merge against the
+        first and is silently discarded.
         """
-        stamp = self.sim.now
+        stamp = self.now
         if stamp <= self._last_stamp:
             stamp = self._last_stamp + 1e-9
         self._last_stamp = stamp
@@ -441,7 +446,7 @@ class AstrolabeAgent(Process):
     def _merge_cutoff(self) -> float:
         """Reject incoming rows older than the expiry horizon."""
         ttl = self.config.gossip.interval * self.config.gossip.row_ttl_rounds
-        return self.sim.now - ttl
+        return self.now - ttl
 
     def _apply_path_deltas(self, deltas: Dict[ZonePath, ZoneDelta]) -> None:
         """Merge per-zone deltas (deepest first).
@@ -477,7 +482,7 @@ class AstrolabeAgent(Process):
 
     def _expire_rows(self) -> None:
         ttl = self.config.gossip.interval * self.config.gossip.row_ttl_rounds
-        cutoff = self.sim.now - ttl
+        cutoff = self.now - ttl
         if cutoff <= 0:
             return
         for zone, table in self.tables.items():

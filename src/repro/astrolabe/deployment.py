@@ -21,6 +21,8 @@ from repro.core.errors import ConfigurationError
 from repro.core.identifiers import NodeId, ZonePath
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.sinks import TraceSink
+from repro.runtime.interface import Runtime
+from repro.runtime.sim import SimRuntime
 from repro.sim.engine import Simulation
 from repro.sim.failures import FailureInjector
 from repro.sim.network import LatencyModel, Network
@@ -69,17 +71,28 @@ def balanced_paths(num_nodes: int, branching: int) -> list[ZonePath]:
 class AstrolabeDeployment:
     """A running population plus the shared infrastructure handles."""
 
-    sim: Simulation
-    network: Network
+    runtime: Runtime
     config: NewsWireConfig
     keychain: KeyChain
     trace: TraceLog
     agents: list[AstrolabeAgent]
-    failures: FailureInjector
+    #: Crash/recovery scheduling — sim runtime only (None on live).
+    failures: Optional[FailureInjector]
     certificates: list[AggregationCertificate] = field(default_factory=list)
     #: Constructor used for the population; late joiners reuse it so
     #: pub/sub and news deployments add nodes of the right type.
     agent_factory: Callable[..., AstrolabeAgent] = AstrolabeAgent
+
+    @property
+    def sim(self) -> Simulation:
+        """The underlying :class:`Simulation` (sim runtime only)."""
+        return self.runtime.sim
+
+    @property
+    def network(self):
+        """The transport: the wrapped :class:`Network` on the sim
+        runtime, the runtime itself on live runtimes."""
+        return getattr(self.runtime, "network", self.runtime)
 
     @property
     def num_nodes(self) -> int:
@@ -97,8 +110,8 @@ class AstrolabeDeployment:
         raise KeyError(str(node_id))
 
     def run_rounds(self, rounds: float) -> None:
-        """Advance virtual time by ``rounds`` gossip intervals."""
-        self.sim.run_for(rounds * self.config.gossip.interval)
+        """Advance virtual time by ``rounds`` gossip intervals (sim only)."""
+        self.runtime.run_for(rounds * self.config.gossip.interval)
 
     def alive_agents(self) -> list[AstrolabeAgent]:
         return [agent for agent in self.agents if not agent.crashed]
@@ -118,7 +131,7 @@ class AstrolabeDeployment:
         """Create and start a late joiner (uses the join protocol)."""
         factory = agent_class if agent_class is not None else self.agent_factory
         agent = factory(
-            node_id, self.sim, self.network, self.config, self.keychain, self.trace
+            node_id, self.runtime, self.config, self.keychain, self.trace
         )
         for certificate in self.certificates:
             agent.install_aggregation(certificate)
@@ -147,6 +160,7 @@ def build_astrolabe(
     keychain: Optional[KeyChain] = None,
     preseed: bool = True,
     start: bool = True,
+    runtime: Optional[Runtime] = None,
 ) -> AstrolabeDeployment:
     """Build a complete Astrolabe population on a fresh simulation.
 
@@ -161,28 +175,64 @@ def build_astrolabe(
     :class:`MetricsRegistry` (default: a fresh one).  Neither affects
     protocol behaviour — fixed-seed runs stay byte-identical whatever
     sinks are attached.
+
+    ``runtime`` selects the execution substrate: the default (``None``
+    or ``"sim"``) builds a fresh simulation + network wrapped in a
+    :class:`SimRuntime`; passing a :class:`Runtime` instance (e.g. an
+    :class:`~repro.runtime.asyncio_udp.AsyncioUdpRuntime`) builds the
+    same population on it instead.  Network shaping parameters and the
+    failure injector only exist on the sim path; live deployments must
+    also pass ``start=False`` and start nodes once the runtime's event
+    loop is up (see docs/RUNTIME.md).
     """
     config = (config or NewsWireConfig()).validate()
-    sim = Simulation(seed=seed)
-    trace = TraceLog(
-        sim,
-        kinds=trace_kinds if trace_kinds is not None else set(),
-        sinks=sinks,
-        metrics=metrics,
-    )
-    network = Network(
-        sim,
-        latency=latency,
-        loss_rate=loss_rate,
-        bandwidth=bandwidth,
-        ingress_bandwidth=ingress_bandwidth,
-        trace=trace,
-    )
+    failures: Optional[FailureInjector] = None
+    if runtime is None or runtime == "sim":
+        sim = Simulation(seed=seed)
+        trace = TraceLog(
+            sim,
+            kinds=trace_kinds if trace_kinds is not None else set(),
+            sinks=sinks,
+            metrics=metrics,
+        )
+        network = Network(
+            sim,
+            latency=latency,
+            loss_rate=loss_rate,
+            bandwidth=bandwidth,
+            ingress_bandwidth=ingress_bandwidth,
+            trace=trace,
+        )
+        runtime = SimRuntime(sim, network, trace=trace)
+        failures = FailureInjector(sim, network)
+    elif isinstance(runtime, str):
+        raise ConfigurationError(
+            f"unknown runtime {runtime!r}: expected 'sim' or a Runtime instance"
+        )
+    else:
+        if (latency is not None or loss_rate or bandwidth is not None
+                or ingress_bandwidth is not None):
+            raise ConfigurationError(
+                "latency/loss/bandwidth shaping applies to the sim runtime "
+                "only; a live runtime inherits the real network's behaviour"
+            )
+        if start:
+            raise ConfigurationError(
+                "pass start=False when building on an external runtime and "
+                "start nodes once its event loop is running"
+            )
+        trace = TraceLog(
+            runtime,
+            kinds=trace_kinds if trace_kinds is not None else set(),
+            sinks=sinks,
+            metrics=metrics,
+        )
+        if getattr(runtime, "trace", None) is None:
+            runtime.trace = trace
     if keychain is None:
         keychain = KeyChain()
     if ADMIN_PRINCIPAL not in keychain:
         keychain.register(ADMIN_PRINCIPAL)
-    failures = FailureInjector(sim, network)
 
     core = issue_core_certificate(
         keychain,
@@ -194,7 +244,7 @@ def build_astrolabe(
     paths = balanced_paths(num_nodes, config.branching_factor)
     agents: list[AstrolabeAgent] = []
     for index, path in enumerate(paths):
-        agent = agent_class(path, sim, network, config, keychain, trace)
+        agent = agent_class(path, runtime, config, keychain, trace)
         for certificate in certificates:
             agent.install_aggregation(certificate)
         if configure_agent is not None:
@@ -209,8 +259,7 @@ def build_astrolabe(
             agent.start()
 
     return AstrolabeDeployment(
-        sim=sim,
-        network=network,
+        runtime=runtime,
         config=config,
         keychain=keychain,
         trace=trace,

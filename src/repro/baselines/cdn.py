@@ -27,6 +27,7 @@ from typing import Optional, Sequence
 
 from repro.core.errors import ConfigurationError
 from repro.core.identifiers import NodeId, ZonePath
+from repro.runtime.sim import SimRuntime
 from repro.sim.engine import Simulation
 from repro.sim.network import Network
 from repro.sim.node import Process
@@ -63,7 +64,7 @@ class CdnOrigin(Process):
         edges: Sequence[NodeId] = (),
         trace: Optional[TraceLog] = None,
     ):
-        super().__init__(node_id, sim, network)
+        super().__init__(node_id, SimRuntime(sim, network))
         self.edges: list[NodeId] = list(edges)
         self.trace = trace if trace is not None else TraceLog(sim, kinds=set())
         self.stats = CdnStats()

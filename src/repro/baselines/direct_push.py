@@ -20,6 +20,7 @@ from typing import Deque, Dict, Optional, Set
 
 from repro.core.errors import ConfigurationError
 from repro.core.identifiers import NodeId
+from repro.runtime.sim import SimRuntime
 from repro.sim.engine import Simulation
 from repro.sim.network import Network
 from repro.sim.node import Process
@@ -57,7 +58,7 @@ class PushOrigin(Process):
     ):
         if send_rate <= 0:
             raise ConfigurationError("send_rate must be positive")
-        super().__init__(node_id, sim, network)
+        super().__init__(node_id, SimRuntime(sim, network))
         self.send_rate = send_rate
         self.trace = trace if trace is not None else TraceLog(sim, kinds=set())
         self.stats = PushOriginStats()
@@ -118,7 +119,7 @@ class PushSubscriber(Process):
         network: Network,
         trace: Optional[TraceLog] = None,
     ):
-        super().__init__(node_id, sim, network)
+        super().__init__(node_id, SimRuntime(sim, network))
         self.trace = trace if trace is not None else TraceLog(sim, kinds=set())
         self.received = 0
 
@@ -129,5 +130,5 @@ class PushSubscriber(Process):
                 "push-deliver",
                 node=str(self.node_id),
                 item=str(message.item.item_id),
-                latency=self.sim.now - message.item.published_at,
+                latency=self.now - message.item.published_at,
             )

@@ -25,6 +25,7 @@ from typing import Deque, Optional
 
 from repro.core.errors import ConfigurationError
 from repro.core.identifiers import NodeId
+from repro.runtime.sim import SimRuntime
 from repro.sim.engine import Simulation
 from repro.sim.failures import FloodMessage
 from repro.sim.network import Network
@@ -111,7 +112,7 @@ class OriginServer(Process):
             raise ConfigurationError("capacity must be positive")
         if max_queue < 1:
             raise ConfigurationError("max_queue must be >= 1")
-        super().__init__(node_id, sim, network)
+        super().__init__(node_id, SimRuntime(sim, network))
         self.capacity = capacity
         self.max_queue = max_queue
         self.page_items = page_items

@@ -16,6 +16,7 @@ from typing import Optional, Set
 
 from repro.core.errors import ConfigurationError
 from repro.core.identifiers import NodeId
+from repro.runtime.sim import SimRuntime
 from repro.sim.engine import Simulation
 from repro.sim.network import Network
 from repro.sim.node import Process
@@ -66,7 +67,7 @@ class PullClient(Process):
             raise ConfigurationError(f"unknown pull mode {mode!r}")
         if poll_interval <= 0:
             raise ConfigurationError("poll_interval must be positive")
-        super().__init__(node_id, sim, network)
+        super().__init__(node_id, SimRuntime(sim, network))
         self.origin = origin
         self.poll_interval = poll_interval
         self.mode = mode
@@ -78,7 +79,7 @@ class PullClient(Process):
         self._timer = None
 
     def on_start(self) -> None:
-        jitter = self.sim.rng("pull-jitter").uniform(0, self.poll_interval)
+        jitter = self.rng("pull-jitter").uniform(0, self.poll_interval)
         self._timer = self.every(self.poll_interval, self._poll, first_delay=jitter)
 
     def on_recover(self) -> None:
@@ -131,7 +132,7 @@ class PullClient(Process):
             "pull-deliver",
             node=str(self.node_id),
             item=str(item.item_id),
-            latency=self.sim.now - item.published_at,
+            latency=self.now - item.published_at,
         )
 
     def _interested(self, subject: str) -> bool:

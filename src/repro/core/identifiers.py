@@ -119,6 +119,13 @@ class ZonePath:
     def __hash__(self) -> int:
         return self._hash
 
+    def __reduce__(self) -> tuple:
+        # The cached hash is process-local (string hashing is salted per
+        # interpreter), so unpickling must rebuild through the
+        # constructor — carrying the slot values verbatim would poison
+        # every dict lookup in the receiving process.
+        return (ZonePath, (self._labels,))
+
     def __str__(self) -> str:
         return "/" + "/".join(self._labels)
 

@@ -81,6 +81,11 @@ class SystemSpec:
     config: Optional[NewsWireConfig] = None
     sinks: Optional[Sequence[TraceSink]] = field(default=None, compare=False)
     metrics: Optional[MetricsRegistry] = field(default=None, compare=False)
+    #: Execution substrate: "sim" (default) builds the deterministic
+    #: simulator; a :class:`repro.runtime.interface.Runtime` instance
+    #: (e.g. AsyncioUdpRuntime) builds the same deployment on it with
+    #: ``start`` deferred to the caller (see docs/RUNTIME.md).
+    runtime: object = field(default="sim", compare=False)
 
     def validate(self) -> "SystemSpec":
         validate_positive("num_nodes", self.num_nodes)
@@ -107,6 +112,7 @@ def build_system(spec: SystemSpec) -> tuple[NewsWireSystem, InterestModel]:
         subscriptions_per_node=spec.subscriptions_per_node,
         seed=interest_seed,
     )
+    live = not (spec.runtime is None or spec.runtime == "sim")
     system = build_newswire(
         spec.num_nodes,
         spec.config if spec.config is not None else NewsWireConfig(),
@@ -116,6 +122,8 @@ def build_system(spec: SystemSpec) -> tuple[NewsWireSystem, InterestModel]:
         seed=spec.seed,
         sinks=spec.sinks,
         metrics=spec.metrics,
+        start=not live,
+        runtime=None if not live else spec.runtime,
     )
     return system, interests
 
@@ -179,7 +187,7 @@ def drive_trace(
             stats.published += 1
 
     for publication in trace:
-        system.sim.call_at(publication.time, publish_one, publication)
+        system.runtime.call_at(publication.time, publish_one, publication)
     return stats
 
 

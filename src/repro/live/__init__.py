@@ -1,0 +1,5 @@
+"""Live (real-socket) NewsWire deployments — see ``python -m repro.live``."""
+
+from repro.live.deploy import LiveReport, LiveSpec, live_config, make_trace, run_live
+
+__all__ = ["LiveReport", "LiveSpec", "live_config", "make_trace", "run_live"]

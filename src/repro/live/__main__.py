@@ -1,0 +1,78 @@
+"""CLI: boot a live multi-process NewsWire on localhost UDP.
+
+    PYTHONPATH=src python -m repro.live --nodes 50
+
+Exit status 0 iff every worker completed, delivery met the threshold
+and duplicate suppression was exercised (redundant paths really ran).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.live.deploy import LiveSpec, run_live
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.live", description=__doc__
+    )
+    parser.add_argument("--nodes", type=int, default=50)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--items", type=int, default=40)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--base-port", type=int, default=47000)
+    parser.add_argument("--publish-interval", type=float, default=0.15)
+    parser.add_argument("--warmup", type=float, default=1.5)
+    parser.add_argument("--drain", type=float, default=3.0)
+    parser.add_argument(
+        "--min-delivery", type=float, default=0.99,
+        help="fail the run below this delivery ratio (default 0.99)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the full report as JSON",
+    )
+    args = parser.parse_args(argv)
+
+    spec = LiveSpec(
+        num_nodes=args.nodes,
+        workers=args.workers,
+        items=args.items,
+        seed=args.seed,
+        base_port=args.base_port,
+        publish_interval=args.publish_interval,
+        warmup=args.warmup,
+        drain=args.drain,
+        min_delivery=args.min_delivery,
+    )
+    report = run_live(spec)
+
+    print(
+        f"live run: {spec.num_nodes} nodes / {spec.workers} workers, "
+        f"{report.published} items published in {report.wall_seconds:.1f}s wall"
+    )
+    print(
+        f"  delivery: {report.delivered}/{report.expected} "
+        f"({report.delivery_ratio:.2%}, threshold {spec.min_delivery:.0%})"
+    )
+    print(
+        f"  duplicates suppressed: {report.duplicates_suppressed}, "
+        f"repaired: {report.repair_delivered}, "
+        f"datagrams sent: {report.sent_datagrams}, "
+        f"receive errors: {report.receive_errors}"
+    )
+    for error in report.worker_errors:
+        print(f"  worker error: {error}", file=sys.stderr)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, default=str)
+        print(f"  report written to {args.json}")
+    print("PASS" if report.ok else "FAIL")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

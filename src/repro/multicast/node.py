@@ -30,8 +30,7 @@ from typing import Any, Hashable, Optional
 from repro.core.config import NewsWireConfig
 from repro.core.identifiers import NodeId, ZonePath
 from repro.gossip.epidemic import RumorBuffer
-from repro.sim.engine import Simulation
-from repro.sim.network import Network
+from repro.runtime.interface import Runtime
 from repro.sim.trace import TraceLog
 from repro.astrolabe.agent import AstrolabeAgent
 from repro.astrolabe.certificates import KeyChain
@@ -52,14 +51,14 @@ class MulticastNode(AstrolabeAgent):
     def __init__(
         self,
         node_id: NodeId,
-        sim: Simulation,
-        network: Network,
-        config: NewsWireConfig,
-        keychain: KeyChain,
+        runtime: Runtime,
+        config: Optional[NewsWireConfig] = None,
+        keychain: Optional[KeyChain] = None,
         trace: Optional[TraceLog] = None,
+        *legacy: Any,
     ):
-        super().__init__(node_id, sim, network, config, keychain, trace)
-        mc = config.multicast
+        super().__init__(node_id, runtime, config, keychain, trace, *legacy)
+        mc = self.config.multicast
         metrics = self.trace.metrics
         self._m_forwards = metrics.counter("multicast.forwards")
         self._m_delivers = metrics.counter("multicast.delivers")
@@ -83,7 +82,7 @@ class MulticastNode(AstrolabeAgent):
         self.forward_log: RumorBuffer[Hashable, Envelope] = RumorBuffer(
             mc.repair_buffer_capacity
         )
-        self._mc_rng = sim.rng("multicast")
+        self._mc_rng = self.runtime.rng("multicast")
         self._repair_timer = None
 
     # ------------------------------------------------------------------
@@ -302,7 +301,7 @@ class MulticastNode(AstrolabeAgent):
                 "deliver",
                 node=str(self.node_id),
                 item=str(envelope.item_key),
-                latency=self.sim.now - envelope.created_at,
+                latency=self.now - envelope.created_at,
                 sender="" if sender is None else str(sender),
                 hop=hop,
                 via=via,

@@ -124,7 +124,7 @@ class ForwardingQueues:
             sort_key=(urgency, self._seq),
             target=target,
             message=message,
-            enqueued_at=self.node.sim.now,
+            enqueued_at=self.node.now,
             weight=weight,
         )
         if self._strategy in ("fifo", "urgency_first"):
@@ -162,7 +162,7 @@ class ForwardingQueues:
         if pending is not None:
             self._backlog -= 1
             self.stats.sent += 1
-            wait = self.node.sim.now - pending.enqueued_at
+            wait = self.node.now - pending.enqueued_at
             self.stats.total_wait += wait
             self._m_sent.inc()
             self._m_depth.add(-1)

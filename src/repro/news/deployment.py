@@ -9,6 +9,7 @@ from repro.core.config import NewsWireConfig
 from repro.core.identifiers import ZonePath
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.sinks import TraceSink
+from repro.runtime.interface import Runtime
 from repro.sim.network import LatencyModel
 from repro.astrolabe.certificates import PublisherCertificate
 from repro.astrolabe.deployment import ADMIN_PRINCIPAL, AstrolabeDeployment
@@ -31,6 +32,10 @@ class NewsWireSystem:
 
     deployment: AstrolabeDeployment
     publishers: Dict[str, NewsWireNode]
+
+    @property
+    def runtime(self) -> Runtime:
+        return self.deployment.runtime
 
     @property
     def sim(self):
@@ -61,7 +66,8 @@ class NewsWireSystem:
         return self.publishers[name]
 
     def run_for(self, duration: float) -> None:
-        self.sim.run_for(duration)
+        """Advance virtual time (sim runtime only)."""
+        self.deployment.runtime.run_for(duration)
 
     def grant_publisher(
         self,
@@ -102,6 +108,8 @@ def build_newswire(
     trace_kinds: Optional[set[str]] = None,
     sinks: Optional[Sequence[TraceSink]] = None,
     metrics: Optional[MetricsRegistry] = None,
+    start: bool = True,
+    runtime: Optional[Runtime] = None,
 ) -> NewsWireSystem:
     """Stand up a NewsWire with ``num_nodes`` participants.
 
@@ -126,6 +134,8 @@ def build_newswire(
         sinks=sinks,
         metrics=metrics,
         node_class=NewsWireNode,
+        start=start,
+        runtime=runtime,
     )
     system = NewsWireSystem(deployment, {})
     for index, name in enumerate(publisher_names):

@@ -21,8 +21,7 @@ from repro.core.errors import (
     PublishError,
 )
 from repro.core.identifiers import ItemId, NodeId, ZonePath
-from repro.sim.engine import Simulation
-from repro.sim.network import Network
+from repro.runtime.interface import Runtime
 from repro.sim.trace import TraceLog
 from repro.astrolabe.certificates import KeyChain, PublisherCertificate
 from repro.multicast.messages import Envelope
@@ -57,15 +56,15 @@ class NewsWireNode(PubSubNode):
     def __init__(
         self,
         node_id: NodeId,
-        sim: Simulation,
-        network: Network,
-        config: NewsWireConfig,
-        keychain: KeyChain,
+        runtime: Runtime,
+        config: Optional[NewsWireConfig] = None,
+        keychain: Optional[KeyChain] = None,
         trace: Optional[TraceLog] = None,
         scheme: Optional[SubscriptionScheme] = None,
+        *legacy: Any,
     ):
-        super().__init__(node_id, sim, network, config, keychain, trace, scheme)
-        self.cache = MessageCache(config.cache)
+        super().__init__(node_id, runtime, config, keychain, trace, scheme, *legacy)
+        self.cache = MessageCache(self.config.cache)
         metrics = self.trace.metrics
         self._m_flow_control = metrics.counter("news.flow_control_rejects")
         self._m_auth_rejects = metrics.counter("news.auth_rejects")
@@ -82,7 +81,7 @@ class NewsWireNode(PubSubNode):
         self.every(self.config.cache.max_age / 4, self._cache_gc)
 
     def _cache_gc(self) -> None:
-        self.cache.gc(self.sim.now)
+        self.cache.gc(self.now)
         # Sampled at GC time: the deployment-wide gauge remembers the
         # largest per-node cache seen (high-water mark of §9's cache).
         self._m_cache_items.set(len(self.cache))
@@ -104,7 +103,7 @@ class NewsWireNode(PubSubNode):
         credential.verify(self.keychain)
         self._credential = credential
         self._publisher_secret = self.keychain.secret_for(credential.publisher)
-        self._bucket = _TokenBucket(credential.max_rate, self.sim.now)
+        self._bucket = _TokenBucket(credential.max_rate, self.now)
         self.announce_publisher(credential.publisher)
 
     def publish_news(
@@ -137,7 +136,7 @@ class NewsWireNode(PubSubNode):
         revision history drives cache fusion downstream)."""
         self._check_credential(previous.publisher)
         item = previous.revised(
-            headline=headline, body=body, published_at=self.sim.now
+            headline=headline, body=body, published_at=self.now
         )
         return self._inject(item, zone, zone_predicate)
 
@@ -161,7 +160,7 @@ class NewsWireNode(PubSubNode):
             categories=categories,
             keywords=keywords,
             urgency=urgency,
-            published_at=self.sim.now,
+            published_at=self.now,
         )
 
     def _check_credential(self, publisher: Optional[str]) -> str:
@@ -191,7 +190,7 @@ class NewsWireNode(PubSubNode):
                     f"allow publishing into {target}"
                 )
             assert self._bucket is not None
-            if not self._bucket.try_take(self.sim.now):
+            if not self._bucket.try_take(self.now):
                 self._m_flow_control.inc()
                 self.trace.record(
                     "flow-control", publisher=item.publisher, item=str(item.item_id)
@@ -227,7 +226,7 @@ class NewsWireNode(PubSubNode):
                 "auth-rejected", node=str(self.node_id), item=str(payload.item_id)
             )
             return
-        self.cache.insert(payload, self.sim.now)
+        self.cache.insert(payload, self.now)
 
     def _authentic(self, item: NewsItem) -> bool:
         """Verify the publisher signature when certificates are required."""
@@ -273,7 +272,7 @@ class NewsWireNode(PubSubNode):
 
     def _handle_state_response(self, message: StateTransferResponse) -> None:
         for item in message.items:
-            if self._authentic(item) and self.cache.insert(item, self.sim.now):
+            if self._authentic(item) and self.cache.insert(item, self.now):
                 self._m_state_transfers.inc()
                 self.trace.record(
                     "state-transfer", node=str(self.node_id), item=str(item.item_id)

@@ -74,17 +74,31 @@ class RunManifest:
         seed: Optional[int],
         quick: bool = False,
         config: Optional[Mapping[str, Any]] = None,
+        clock: Optional[Any] = None,
+        started_at: Optional[str] = None,
     ) -> "RunManifest":
-        """Open a manifest before the run; ``finish()`` stamps the cost."""
+        """Open a manifest before the run; ``finish()`` stamps the cost.
+
+        ``clock`` is a zero-argument callable returning monotonic
+        seconds (default :func:`time.perf_counter`) and ``started_at``
+        an explicit ISO-8601 stamp — injectable so harnesses on a
+        virtual clock (or replaying old runs) never read the wall clock
+        behind the caller's back.
+        """
         manifest = cls(
             experiment=experiment,
             seed=seed,
             quick=quick,
             config=dict(config or {}),
             git_rev=git_revision(),
-            started_at=time.strftime("%Y-%m-%dT%H:%M:%S%z", time.localtime()),
+            started_at=(
+                started_at
+                if started_at is not None
+                else time.strftime("%Y-%m-%dT%H:%M:%S%z", time.localtime())
+            ),
         )
-        manifest._clock_start = time.perf_counter()
+        manifest._clock = clock if clock is not None else time.perf_counter
+        manifest._clock_start = manifest._clock()
         return manifest
 
     def finish(
@@ -96,7 +110,8 @@ class RunManifest:
         """Record wall time, the metric snapshot and result extras."""
         started = getattr(self, "_clock_start", None)
         if started is not None:
-            self.wall_time_s = time.perf_counter() - started
+            clock = getattr(self, "_clock", time.perf_counter)
+            self.wall_time_s = clock() - started
         if metrics is not None:
             self.metrics = dict(metrics)
         self.extra.update(extra)

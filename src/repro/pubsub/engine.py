@@ -14,6 +14,7 @@ from typing import Callable, Optional, Sequence
 from repro.core.config import NewsWireConfig
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.sinks import TraceSink
+from repro.runtime.interface import Runtime
 from repro.sim.network import LatencyModel
 from repro.astrolabe.certificates import KeyChain
 from repro.astrolabe.deployment import AstrolabeDeployment, build_astrolabe
@@ -62,6 +63,7 @@ def build_pubsub(
     metrics: Optional[MetricsRegistry] = None,
     node_class: type = PubSubNode,
     start: bool = True,
+    runtime: Optional[Runtime] = None,
 ) -> AstrolabeDeployment:
     """Stand up ``num_nodes`` pub/sub participants.
 
@@ -81,8 +83,8 @@ def build_pubsub(
     keychain.register("admin")
     certificate = the_scheme.certificate(keychain)
 
-    def make_node(node_id, sim, network, cfg, chain, trace):
-        return node_class(node_id, sim, network, cfg, chain, trace, the_scheme)
+    def make_node(node_id, rt, cfg, chain, trace):
+        return node_class(node_id, rt, cfg, chain, trace, the_scheme)
 
     def configure(agent: PubSubNode, index: int) -> None:
         if subscriptions_for is not None:
@@ -105,4 +107,5 @@ def build_pubsub(
         configure_agent=configure,
         keychain=keychain,
         start=start,
+        runtime=runtime,
     )

@@ -20,8 +20,7 @@ from typing import Any, Mapping, Optional
 
 from repro.core.config import NewsWireConfig
 from repro.core.identifiers import ItemId, NodeId, ZonePath
-from repro.sim.engine import Simulation
-from repro.sim.network import Network
+from repro.runtime.interface import Runtime
 from repro.sim.trace import TraceLog
 from repro.astrolabe.certificates import KeyChain
 from repro.astrolabe.mib import Row
@@ -54,15 +53,30 @@ class PubSubNode(MulticastNode):
     def __init__(
         self,
         node_id: NodeId,
-        sim: Simulation,
-        network: Network,
-        config: NewsWireConfig,
-        keychain: KeyChain,
+        runtime: Runtime,
+        config: Optional[NewsWireConfig] = None,
+        keychain: Optional[KeyChain] = None,
         trace: Optional[TraceLog] = None,
         scheme: Optional[SubscriptionScheme] = None,
+        *legacy: Any,
     ):
-        super().__init__(node_id, sim, network, config, keychain, trace)
-        self.scheme = scheme if scheme is not None else BloomScheme(config.bloom)
+        from repro.sim.engine import Simulation
+
+        if isinstance(runtime, Simulation):
+            # Legacy (node_id, sim, network, config, keychain, trace,
+            # scheme): every slot is shifted one right.  Realign the
+            # scheme locally and let the parent shim unshift the rest
+            # (the trace landed in our scheme slot — pass it along).
+            real_scheme = legacy[0] if legacy else None
+            super().__init__(node_id, runtime, config, keychain, trace, scheme)
+            scheme = real_scheme
+        else:
+            if legacy:
+                raise TypeError(
+                    f"too many positional arguments: {len(legacy)} extra"
+                )
+            super().__init__(node_id, runtime, config, keychain, trace)
+        self.scheme = scheme if scheme is not None else BloomScheme(self.config.bloom)
         self._subscriptions: list[Subscription] = []
         self._publish_serial = 0
         metrics = self.trace.metrics
@@ -137,7 +151,7 @@ class PubSubNode(MulticastNode):
             subject=subject,
             hints=self.scheme.hints_for(subject, name),
             urgency=urgency,
-            created_at=self.sim.now,
+            created_at=self.now,
             wire_size=wire_size,
             scope=target,
             zone_predicate=zone_predicate,

@@ -1,0 +1,36 @@
+"""Runtime seam: one protocol codebase on the simulator or live UDP.
+
+See docs/RUNTIME.md for the interface contract and determinism
+guarantees.  The asyncio implementation lives in
+:mod:`repro.runtime.asyncio_udp` and is imported lazily so that
+sim-only workloads never touch asyncio.
+"""
+
+from repro.runtime.interface import (
+    Clock,
+    Handle,
+    MessageHandler,
+    PeriodicHandle,
+    Runtime,
+    Transport,
+)
+from repro.runtime.sim import SimRuntime
+
+__all__ = [
+    "AsyncioUdpRuntime",
+    "Clock",
+    "Handle",
+    "MessageHandler",
+    "PeriodicHandle",
+    "Runtime",
+    "SimRuntime",
+    "Transport",
+]
+
+
+def __getattr__(name: str):
+    if name == "AsyncioUdpRuntime":
+        from repro.runtime.asyncio_udp import AsyncioUdpRuntime
+
+        return AsyncioUdpRuntime
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

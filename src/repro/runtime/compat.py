@@ -1,0 +1,70 @@
+"""Legacy-constructor shim for the pre-runtime API.
+
+Protocol nodes used to be constructed as ``Node(node_id, sim, network,
+...)``; they now take ``Node(node_id, runtime, ...)``.  The old calling
+convention keeps working through :func:`coerce_runtime`, which detects
+a raw :class:`~repro.sim.engine.Simulation` in the runtime slot, wraps
+``(sim, network)`` in a :class:`~repro.runtime.sim.SimRuntime`, and
+emits a one-shot :class:`DeprecationWarning` (once per process, not
+once per node — a 10k-node sweep should not print 10k warnings).
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Tuple
+
+__all__ = ["coerce_runtime", "reset_warnings"]
+
+_warned: set[str] = set()
+
+
+def _warn_once(key: str, message: str) -> None:
+    if key in _warned:
+        return
+    _warned.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=4)
+
+
+def reset_warnings() -> None:
+    """Re-arm the one-shot warnings (test helper)."""
+    _warned.clear()
+
+
+def coerce_runtime(
+    runtime: Any, rest: Tuple[Any, ...], overflow: Tuple[Any, ...], arity: int
+) -> Tuple[Any, Tuple[Any, ...]]:
+    """Normalize a node constructor's runtime argument.
+
+    ``rest`` holds the values bound to the constructor's remaining
+    positional parameters and ``overflow`` any ``*legacy`` spillover;
+    ``arity`` is how many trailing parameters the caller expects back.
+    Under the legacy convention every positional is shifted one slot
+    right (the network landed in the first config slot), so when the
+    runtime slot holds a raw ``Simulation`` we unshift: ``rest[0]`` is
+    the network, and the true trailing arguments are
+    ``rest[1:] + overflow``.
+    """
+    from repro.sim.engine import Simulation
+    from repro.runtime.sim import SimRuntime
+
+    if isinstance(runtime, Simulation):
+        _warn_once(
+            "legacy-node-constructor",
+            "constructing protocol nodes as Node(node_id, sim, network, ...)"
+            " is deprecated; pass a repro.runtime Runtime instead:"
+            " Node(node_id, SimRuntime(sim, network), ...)",
+        )
+        if not rest:
+            raise TypeError(
+                "legacy constructor form requires a Network after the Simulation"
+            )
+        runtime = SimRuntime(runtime, rest[0])
+        rest = tuple(rest[1:]) + tuple(overflow)
+    elif overflow:
+        raise TypeError(
+            f"unexpected extra positional arguments: {len(overflow)} too many"
+        )
+    if len(rest) > arity:
+        raise TypeError(f"too many positional arguments ({len(rest)} > {arity})")
+    return runtime, rest + (None,) * (arity - len(rest))

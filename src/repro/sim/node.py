@@ -1,12 +1,22 @@
 """Process abstraction: the base class every protocol node extends.
 
-A :class:`Process` ties a node identity to the simulation and network,
-and provides the small API protocol code is written against:
+A :class:`Process` ties a node identity to a
+:class:`~repro.runtime.interface.Runtime` (clock + transport + RNG) and
+provides the small API protocol code is written against:
 
 * ``self.send(dst, message)`` — fire-and-forget message;
 * ``self.set_timer(delay, fn)`` / ``self.every(interval, fn)`` —
   timers that are automatically cancelled when the node crashes;
+* ``self.now`` / ``self.rng(name)`` — the runtime's clock and
+  deterministic named random streams;
 * ``on_message`` / ``on_start`` / ``on_crash`` / ``on_recover`` hooks.
+
+The same process runs unchanged on the discrete-event
+:class:`~repro.runtime.sim.SimRuntime` or the live
+:class:`~repro.runtime.asyncio_udp.AsyncioUdpRuntime` — nothing in
+this class (or its subclasses) touches the simulator directly.  The
+historical ``Process(node_id, sim, network)`` form still works and is
+wrapped in a SimRuntime with a one-shot ``DeprecationWarning``.
 
 Crash semantics follow the fail-stop model the paper's epidemic
 protocols assume: a crashed node neither receives nor sends, its
@@ -16,25 +26,48 @@ behaviour from ``on_recover``.
 
 from __future__ import annotations
 
+import random
 from typing import Any, Callable, Optional
 
 from repro.core.errors import NetworkError
 from repro.core.identifiers import NodeId
-from repro.sim.engine import EventHandle, PeriodicEvent, Simulation
-from repro.sim.network import Network
+from repro.runtime.compat import coerce_runtime
+from repro.runtime.interface import Handle, PeriodicHandle, Runtime
 
 
 class Process:
-    """A simulated node participating in the network."""
+    """A protocol node participating in the network."""
 
-    def __init__(self, node_id: NodeId, sim: Simulation, network: Network):
+    def __init__(self, node_id: NodeId, runtime: Runtime, *legacy: Any):
+        runtime, _ = coerce_runtime(runtime, legacy, (), 0)
         self.node_id = node_id
-        self.sim = sim
-        self.network = network
+        self.runtime = runtime
         self.crashed = False
-        self._timers: list[EventHandle] = []
-        self._periodics: list[PeriodicEvent] = []
-        network.register(self)
+        self._timers: list[Handle] = []
+        self._periodics: list[PeriodicHandle] = []
+        runtime.register(self)
+
+    # -- runtime access --------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current runtime time (virtual or wall, see docs/RUNTIME.md)."""
+        return self.runtime.now
+
+    def rng(self, name: str) -> random.Random:
+        """The runtime's named deterministic random stream."""
+        return self.runtime.rng(name)
+
+    @property
+    def sim(self):
+        """The underlying :class:`Simulation` (sim runtime only)."""
+        return self.runtime.sim
+
+    @property
+    def network(self):
+        """The transport: the wrapped :class:`Network` on the sim
+        runtime, the runtime itself on live runtimes."""
+        return getattr(self.runtime, "network", self.runtime)
 
     # -- lifecycle -------------------------------------------------------
 
@@ -71,7 +104,7 @@ class Process:
         """Send ``message`` to ``dst``; silently dropped if we are down."""
         if self.crashed:
             return False
-        return self.network.send(self.node_id, dst, message, size=size)
+        return self.runtime.send(self.node_id, dst, message, size=size)
 
     def receive(self, sender: NodeId, message: Any) -> None:
         if self.crashed:
@@ -80,11 +113,11 @@ class Process:
 
     # -- timers ------------------------------------------------------------
 
-    def set_timer(self, delay: float, callback: Callable[..., None], *args: Any) -> EventHandle:
+    def set_timer(self, delay: float, callback: Callable[..., None], *args: Any) -> Handle:
         """One-shot timer, auto-cancelled if this node crashes first."""
         if self.crashed:
             raise NetworkError(f"{self.node_id} is crashed; cannot set timers")
-        handle = self.sim.call_after(delay, self._guarded, callback, args)
+        handle = self.runtime.call_after(delay, self._guarded, callback, args)
         self._timers.append(handle)
         if len(self._timers) > 64:  # drop fired/cancelled handles
             self._timers = [t for t in self._timers if not t.cancelled]
@@ -96,11 +129,11 @@ class Process:
         callback: Callable[..., None],
         *args: Any,
         first_delay: Optional[float] = None,
-    ) -> PeriodicEvent:
+    ) -> PeriodicHandle:
         """Periodic timer, auto-cancelled if this node crashes."""
         if self.crashed:
             raise NetworkError(f"{self.node_id} is crashed; cannot set timers")
-        periodic = self.sim.call_every(
+        periodic = self.runtime.call_every(
             interval, self._guarded, callback, args, first_delay=first_delay
         )
         self._periodics.append(periodic)

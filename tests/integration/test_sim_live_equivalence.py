@@ -1,0 +1,130 @@
+"""Sim-vs-live equivalence: one protocol codebase, two substrates.
+
+The same 5-node NewsWire deployment — same config, same seed, same
+subscriptions, same stories — is run once on the deterministic
+simulator and once on real asyncio UDP sockets (single process).  The
+*protocol outcome* must be identical: every node delivers exactly the
+same set of items, and the duplicate-suppression counts match, because
+with full representative redundancy and repair disabled the number of
+redundant copies is a property of the dissemination tree, not of
+timing.  Latencies are explicitly NOT compared — wall time and virtual
+time measure different things.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.astrolabe.deployment import balanced_paths
+from repro.core.config import GossipConfig, MulticastConfig, NewsWireConfig
+from repro.news.deployment import build_newswire
+from repro.pubsub.subscription import Subscription
+from repro.runtime.asyncio_udp import AsyncioUdpRuntime
+
+NUM_NODES = 5
+SEED = 3
+BASE_PORT = 49700
+
+CONFIG = NewsWireConfig(
+    branching_factor=2,
+    gossip=GossipConfig(interval=0.2, jitter=0.05, row_ttl_rounds=500),
+    multicast=MulticastConfig(
+        representatives=2,
+        send_to_representatives=2,
+        forwarding_delay=0.01,
+        # Repair re-delivers only after loss; loopback UDP does not
+        # lose, and disabling it keeps the duplicate counts structural.
+        repair_enabled=False,
+    ),
+)
+
+STORIES = (
+    ("news/politics", "summit ends"),
+    ("news/sports", "cup final"),
+    ("news/politics", "vote called"),
+    ("news/sports", "transfer done"),
+    ("news/politics", "bill passes"),
+    ("news/sports", "record broken"),
+)
+
+
+def subscriptions_for(index: int):
+    subject = "news/politics" if index % 2 == 0 else "news/sports"
+    return (Subscription(subject),)
+
+
+def collect(system):
+    delivered = frozenset(
+        (dict(event.fields)["node"], dict(event.fields)["item"])
+        for event in system.trace.events("deliver")
+    )
+    return delivered, system.trace.count("dup-dropped")
+
+
+def publish_all(system):
+    publisher = system.publisher("wire")
+    for subject, headline in STORIES:
+        publisher.publish_news(subject=subject, headline=headline)
+
+
+def run_sim():
+    system = build_newswire(
+        NUM_NODES,
+        CONFIG,
+        publisher_names=("wire",),
+        publisher_rate=100.0,
+        subscriptions_for=subscriptions_for,
+        seed=SEED,
+    )
+    system.run_for(2.0)
+    publish_all(system)
+    system.run_for(10.0)
+    return collect(system)
+
+
+def run_live():
+    paths = balanced_paths(NUM_NODES, CONFIG.branching_factor)
+    runtime = AsyncioUdpRuntime(
+        seed=SEED,
+        address_book={
+            str(path): ("127.0.0.1", BASE_PORT + index)
+            for index, path in enumerate(paths)
+        },
+    )
+
+    async def main():
+        system = build_newswire(
+            NUM_NODES,
+            CONFIG,
+            publisher_names=("wire",),
+            publisher_rate=100.0,
+            subscriptions_for=subscriptions_for,
+            seed=SEED,
+            start=False,
+            runtime=runtime,
+        )
+        await runtime.start()
+        try:
+            for node in system.deployment.agents:
+                node.start()
+            await asyncio.sleep(0.6)  # let gossip freshen the tables
+            publish_all(system)
+            await asyncio.sleep(2.0)  # drain the dissemination tree
+            return collect(system)
+        finally:
+            runtime.close()
+
+    return asyncio.run(main())
+
+
+@pytest.mark.slow
+def test_sim_and_live_agree_on_protocol_outcome():
+    sim_delivered, sim_duplicates = run_sim()
+    live_delivered, live_duplicates = run_live()
+
+    assert sim_delivered, "simulation delivered nothing — broken fixture"
+    assert live_delivered == sim_delivered
+    assert live_duplicates == sim_duplicates
+    assert sim_duplicates > 0, "fixture must exercise duplicate suppression"

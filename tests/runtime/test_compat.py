@@ -1,0 +1,87 @@
+"""Legacy Node(node_id, sim, network, ...) construction keeps working."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.astrolabe.agent import AstrolabeAgent
+from repro.astrolabe.certificates import KeyChain
+from repro.core.config import NewsWireConfig
+from repro.core.identifiers import ZonePath
+from repro.news.node import NewsWireNode
+from repro.pubsub.node import PubSubNode
+from repro.runtime import compat
+from repro.runtime.sim import SimRuntime
+from repro.sim.engine import Simulation
+from repro.sim.network import Network
+
+
+@pytest.fixture(autouse=True)
+def fresh_warning_state():
+    compat.reset_warnings()
+    yield
+    compat.reset_warnings()
+
+
+def make_legacy_pair():
+    sim = Simulation(seed=1)
+    return sim, Network(sim)
+
+
+def test_legacy_agent_construction_warns_and_works():
+    sim, network = make_legacy_pair()
+    keychain = KeyChain()
+    keychain.register("admin")
+    config = NewsWireConfig(branching_factor=4)
+    with pytest.warns(DeprecationWarning, match="deprecated"):
+        agent = AstrolabeAgent(
+            ZonePath(("n0",)), sim, network, config, keychain
+        )
+    assert isinstance(agent.runtime, SimRuntime)
+    assert agent.runtime.sim is sim
+    assert agent.sim is sim
+    assert network.is_registered(agent.node_id)
+
+
+def test_warning_fires_once_per_class():
+    sim, network = make_legacy_pair()
+    keychain = KeyChain()
+    keychain.register("admin")
+    config = NewsWireConfig(branching_factor=4)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        AstrolabeAgent(ZonePath(("n0",)), sim, network, config, keychain)
+        AstrolabeAgent(ZonePath(("n1",)), sim, network, config, keychain)
+    deprecations = [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+    assert len(deprecations) == 1
+
+
+@pytest.mark.parametrize("node_class", [PubSubNode, NewsWireNode])
+def test_legacy_scheme_bearing_construction(node_class):
+    """The scheme slot shifts one right under the legacy convention."""
+    sim, network = make_legacy_pair()
+    keychain = KeyChain()
+    keychain.register("admin")
+    config = NewsWireConfig(branching_factor=4)
+    with pytest.warns(DeprecationWarning):
+        node = node_class(ZonePath(("n0",)), sim, network, config, keychain)
+    assert isinstance(node.runtime, SimRuntime)
+    assert node.scheme is not None
+    assert node.config is config
+
+
+def test_new_style_construction_does_not_warn():
+    runtime = SimRuntime(seed=1)
+    keychain = KeyChain()
+    keychain.register("admin")
+    config = NewsWireConfig(branching_factor=4)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        agent = AstrolabeAgent(
+            ZonePath(("n0",)), runtime, config, keychain
+        )
+    assert agent.runtime is runtime
