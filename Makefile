@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-quick lint fuzz bench bench-pytest bench-sweep sweep experiments experiments-quick report examples live clean
+.PHONY: install test test-fast test-quick lint fuzz bench bench-pytest bench-sweep sweep experiments experiments-quick report profile examples live clean
 
 install:
 	pip install -e '.[test]'
@@ -62,6 +62,12 @@ experiments-quick:
 # (critical paths, hop counts, loss attribution; docs/OBSERVABILITY.md).
 report:
 	$(PYTHON) -m repro.experiments e2 e11 --quick --report
+
+# Flight recorder on a quick E2: per-category dispatch wall-time table
+# plus metric time series, written under profile/ — results are
+# byte-identical with profiling on or off (docs/OBSERVABILITY.md).
+profile:
+	PYTHONPATH=src $(PYTHON) -m repro.experiments e2 --quick --profile --profile-dir profile
 
 # 50 live UDP nodes across 4 worker processes on localhost; fails
 # under 99% delivery or without duplicate suppression (docs/RUNTIME.md).

@@ -75,6 +75,9 @@ def _run_one(
     json_dir: Optional[Path],
     check_invariants: bool = False,
     workers: int = 1,
+    profile: bool = False,
+    profile_memory: bool = False,
+    profile_dir: Optional[Path] = None,
 ) -> tuple[float, list]:
     """Run one experiment, print its report, write its manifest.
 
@@ -84,6 +87,18 @@ def _run_one(
     (modulo wall-time/provenance manifest fields).  Returns the wall
     time and any invariant violations (empty unless
     ``check_invariants`` attached a suite).
+
+    ``profile`` attaches the flight recorder: an event-kernel profiler
+    (:mod:`repro.obs.profile`) plus — when the experiment takes a
+    metrics registry — a time-series sampler
+    (:mod:`repro.obs.timeseries`).  Both are dispatch monitors that
+    read only wall time, so results, reports and manifest payloads are
+    byte-identical with or without the flag (pinned by
+    ``tests/integration/test_instrumentation_transparency.py``); the
+    profile table is printed after the report and JSON/JSONL artifacts
+    land in ``profile_dir``.  On the serial path one registry spans the
+    whole sweep, so time-series values are cumulative across cells; the
+    parallel path records per-cell series (fresh registry per cell).
     """
     manifest = RunManifest.start(
         experiment=spec.name,
@@ -116,6 +131,8 @@ def _run_one(
         )
     registry = None
     suite_checkers = None
+    profiler = None
+    series = None
     started = time.time()
     try:
         if use_parallel:
@@ -127,9 +144,13 @@ def _run_one(
                 workers=workers,
                 want_metrics=want_metrics,
                 want_suite=want_suite,
+                want_profile=profile,
+                want_timeseries=profile and want_metrics,
             )
             result = run.result
             registry = run.metrics
+            profiler = run.profile
+            series = run.timeseries
             if want_suite:
                 from repro.testkit.invariants import InvariantSuite
 
@@ -151,7 +172,22 @@ def _run_one(
                     config,
                     overrides={**config.overrides, "sinks": [MemorySink(), suite]},
                 )
-            result = spec.run(config)
+            from contextlib import ExitStack
+
+            with ExitStack() as stack:
+                if profile:
+                    from repro.obs.profile import profile_simulations
+
+                    profiler = stack.enter_context(
+                        profile_simulations(track_memory=profile_memory)
+                    )
+                    if registry is not None:
+                        from repro.obs.timeseries import record_simulations
+
+                        series = stack.enter_context(
+                            record_simulations(registry, label=spec.name)
+                        )
+                result = spec.run(config)
             if suite is not None:
                 # No live system here (runners tear theirs down):
                 # system-needing checkers skip; stream-level invariants
@@ -176,6 +212,34 @@ def _run_one(
         raise
     elapsed = time.time() - started
     print(result.report())
+    profile_extra = {}
+    if profiler is not None:
+        import json as _json
+
+        from repro.obs.profile import format_profile_report
+
+        print()
+        print(format_profile_report(profiler))
+        out_dir = profile_dir if profile_dir is not None else Path("profile")
+        out_dir.mkdir(parents=True, exist_ok=True)
+        profile_path = out_dir / f"{spec.name}-profile.json"
+        profile_path.write_text(
+            _json.dumps(profiler.summary(), indent=2) + "\n", encoding="utf-8"
+        )
+        profile_extra["profile"] = {
+            "path": str(profile_path),
+            **profiler.summary(top=5),
+        }
+        print(f"[{spec.name} profile -> {profile_path}]")
+        if series is not None:
+            series_path = series.write_jsonl(
+                out_dir / f"{spec.name}-timeseries.jsonl"
+            )
+            profile_extra["timeseries"] = {
+                "path": str(series_path),
+                **series.summary(),
+            }
+            print(f"[{spec.name} timeseries -> {series_path}]")
     if suite_checkers is not None:
         if violations:
             print(f"[{spec.name} invariants: {len(violations)} violation(s)]")
@@ -188,7 +252,7 @@ def _run_one(
         if check_invariants:
             print(f"[{spec.name} takes no sinks; invariant checking skipped]")
     if json_dir is not None:
-        extra = {}
+        extra = dict(profile_extra)
         causal = getattr(result, "causal", None)
         if causal is not None:
             extra["causal"] = causal
@@ -259,6 +323,29 @@ def main(argv: list[str]) -> int:
             "serial path; see docs/PARALLEL.md)"
         ),
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help=(
+            "attach the flight recorder: print a per-category dispatch "
+            "wall-time table + top hot handlers after each report and "
+            "write <name>-profile.json / <name>-timeseries.jsonl "
+            "artifacts; results stay byte-identical (the monitors read "
+            "only wall time, never the RNG or event order)"
+        ),
+    )
+    parser.add_argument(
+        "--profile-dir", metavar="DIR", default="profile",
+        help=(
+            "directory for --profile artifacts (default: profile/)"
+        ),
+    )
+    parser.add_argument(
+        "--profile-memory", action="store_true",
+        help=(
+            "with --profile, also track tracemalloc heap high-water "
+            "marks (serial path only; adds noticeable overhead)"
+        ),
+    )
     try:
         args = parser.parse_args(argv)
     except SystemExit as exc:  # argparse exits on --help / bad flags
@@ -302,6 +389,9 @@ def main(argv: list[str]) -> int:
             json_dir,
             check_invariants=args.check_invariants,
             workers=args.workers,
+            profile=args.profile,
+            profile_memory=args.profile_memory,
+            profile_dir=Path(args.profile_dir),
         )
         violated = violated or bool(violations)
         print(f"[{spec.name} completed in {elapsed:.1f}s]\n")

@@ -2,13 +2,19 @@
 
     PYTHONPATH=src python -m repro.live --nodes 50
 
-Exit status 0 iff every worker completed, delivery met the threshold
-and duplicate suppression was exercised (redundant paths really ran).
+While the run is in flight, workers ship periodic telemetry snapshots
+(delivered / duplicate / queue-depth counts) which print as progress
+lines and land in a JSONL artifact (``--telemetry``); a
+:class:`~repro.obs.manifest.RunManifest` referencing that artifact is
+written to ``--manifest``.  Exit status 0 iff every worker completed,
+delivery met the threshold and duplicate suppression was exercised
+(redundant paths really ran).
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 
@@ -35,6 +41,24 @@ def main(argv=None) -> int:
         "--json", metavar="PATH", default=None,
         help="also write the full report as JSON",
     )
+    parser.add_argument(
+        "--telemetry", metavar="PATH", default="live-telemetry.jsonl",
+        help=(
+            "JSONL file for the per-worker telemetry snapshots "
+            "(default: live-telemetry.jsonl)"
+        ),
+    )
+    parser.add_argument(
+        "--telemetry-interval", type=float, default=1.0,
+        help="seconds between worker snapshots (default 1.0)",
+    )
+    parser.add_argument(
+        "--manifest", metavar="PATH", default="live-manifest.json",
+        help=(
+            "RunManifest provenance artifact referencing the telemetry "
+            "file (default: live-manifest.json)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     spec = LiveSpec(
@@ -47,8 +71,18 @@ def main(argv=None) -> int:
         warmup=args.warmup,
         drain=args.drain,
         min_delivery=args.min_delivery,
+        telemetry_interval=args.telemetry_interval,
     )
-    report = run_live(spec)
+
+    from repro.obs.manifest import RunManifest
+
+    manifest = RunManifest.start(
+        experiment="live",
+        seed=spec.seed,
+        quick=False,
+        config=dataclasses.asdict(spec),
+    )
+    report = run_live(spec, telemetry_path=args.telemetry, progress=print)
 
     print(
         f"live run: {spec.num_nodes} nodes / {spec.workers} workers, "
@@ -64,12 +98,26 @@ def main(argv=None) -> int:
         f"datagrams sent: {report.sent_datagrams}, "
         f"receive errors: {report.receive_errors}"
     )
+    print(
+        f"  telemetry: {report.telemetry_snapshots} snapshots "
+        f"-> {args.telemetry}"
+    )
     for error in report.worker_errors:
         print(f"  worker error: {error}", file=sys.stderr)
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(report.to_dict(), handle, indent=2, default=str)
         print(f"  report written to {args.json}")
+    manifest.finish(
+        result=report.to_dict(),
+        telemetry={
+            "path": args.telemetry,
+            "snapshots": report.telemetry_snapshots,
+            "interval": spec.telemetry_interval,
+        },
+    )
+    manifest.write(args.manifest)
+    print(f"  manifest written to {args.manifest}")
     print("PASS" if report.ok else "FAIL")
     return 0 if report.ok else 1
 

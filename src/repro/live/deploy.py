@@ -24,20 +24,29 @@ across process boundaries without any key distribution.
 from __future__ import annotations
 
 import dataclasses
+import json
 import multiprocessing as mp
 import queue as queue_mod
 import random
 import time
 import traceback
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Tuple
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.core.config import GossipConfig, MulticastConfig, NewsWireConfig
 from repro.core.errors import ConfigurationError, FlowControlError
 from repro.workloads.populations import InterestModel, zipf_weights
 from repro.workloads.traces import Publication
 
-__all__ = ["LiveSpec", "LiveReport", "run_live", "make_trace", "live_config"]
+__all__ = [
+    "LiveSpec",
+    "LiveReport",
+    "TelemetryCollector",
+    "run_live",
+    "make_trace",
+    "live_config",
+]
 
 #: Default subjects for the synthetic feed.
 SUBJECTS = (
@@ -71,6 +80,10 @@ class LiveSpec:
     #: Seconds after the last story for repair rounds to fill gaps.
     drain: float = 3.0
     min_delivery: float = 0.99
+    #: Wall-clock seconds between worker telemetry snapshots (shipped
+    #: to the parent over the result plumbing; see
+    #: :class:`TelemetryCollector`).
+    telemetry_interval: float = 1.0
 
     def validate(self) -> "LiveSpec":
         if self.num_nodes <= 0:
@@ -85,6 +98,8 @@ class LiveSpec:
             raise ConfigurationError("subjects must not be empty")
         if not 0.0 < self.min_delivery <= 1.0:
             raise ConfigurationError("min_delivery must be in (0, 1]")
+        if self.telemetry_interval <= 0:
+            raise ConfigurationError("telemetry_interval must be positive")
         return self
 
 
@@ -165,16 +180,74 @@ class _DeliverySink:
         pass
 
 
+class TelemetryCollector:
+    """Parent-side fold of worker telemetry snapshots.
+
+    Workers ship one small dict per :attr:`LiveSpec.telemetry_interval`
+    (delivered / duplicate / queue-depth counts so far); the parent
+    drains them while waiting on results, appends each as one JSONL
+    line to ``path`` (when given) and renders the human progress line.
+    Pure dict-in, line-out — unit-testable without any processes
+    (``tests/live/test_telemetry.py``).
+    """
+
+    def __init__(self, path: Optional[Any] = None):
+        self.path = Path(path) if path is not None else None
+        self.snapshots = 0
+        self._handle = None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            # Line-buffered so a killed run still leaves usable lines.
+            self._handle = self.path.open("w", encoding="utf-8", buffering=1)
+
+    @staticmethod
+    def format_line(snap: Mapping[str, Any]) -> str:
+        return (
+            "[live w{worker} t={t:.1f}s] delivered={delivered} "
+            "dup={dup_dropped} published={published} "
+            "queue={queue_depth}"
+        ).format(**snap)
+
+    def record(self, snap: Mapping[str, Any]) -> str:
+        """Persist one snapshot; returns the formatted progress line."""
+        self.snapshots += 1
+        if self._handle is not None:
+            self._handle.write(json.dumps(dict(snap)) + "\n")
+        return self.format_line(snap)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def _drain_telemetry(
+    telemetry_q, collector: Optional[TelemetryCollector], progress
+) -> None:
+    if telemetry_q is None or collector is None:
+        return
+    while True:
+        try:
+            snap = telemetry_q.get_nowait()
+        except queue_mod.Empty:
+            return
+        line = collector.record(snap)
+        if progress is not None:
+            progress(line)
+
+
 # ----------------------------------------------------------------------
 # Worker process
 # ----------------------------------------------------------------------
 
-def _worker_entry(spec, worker, epoch, ready_q, go_event, result_q) -> None:
+def _worker_entry(
+    spec, worker, epoch, ready_q, go_event, result_q, telemetry_q=None
+) -> None:
     import asyncio
 
     try:
         result = asyncio.run(
-            _worker_main(spec, worker, epoch, ready_q, go_event)
+            _worker_main(spec, worker, epoch, ready_q, go_event, telemetry_q)
         )
     except Exception:
         result_q.put({"worker": worker, "error": traceback.format_exc()})
@@ -183,7 +256,12 @@ def _worker_entry(spec, worker, epoch, ready_q, go_event, result_q) -> None:
 
 
 async def _worker_main(
-    spec: LiveSpec, worker: int, epoch: float, ready_q, go_event
+    spec: LiveSpec,
+    worker: int,
+    epoch: float,
+    ready_q,
+    go_event,
+    telemetry_q=None,
 ) -> Dict[str, Any]:
     import asyncio
 
@@ -264,6 +342,30 @@ async def _worker_main(
     t_zero = runtime.now
 
     counters = {"published": 0, "flow_controlled": 0}
+    telemetry_timer = None
+    if telemetry_q is not None:
+
+        def ship_snapshot() -> None:
+            snap = {
+                "worker": worker,
+                "t": round(runtime.now - t_zero, 3),
+                "delivered": len(sink.pairs),
+                "dup_dropped": trace.count("dup-dropped"),
+                "published": counters["published"],
+                "queue_depth": sum(
+                    node.queues.backlog
+                    for node in local.values()
+                    if getattr(node, "queues", None) is not None
+                ),
+            }
+            try:
+                telemetry_q.put_nowait(snap)
+            except queue_mod.Full:
+                pass  # telemetry is best-effort; never stall the run
+
+        telemetry_timer = runtime.call_every(
+            spec.telemetry_interval, ship_snapshot
+        )
     if publisher is not None:
 
         def publish_one(publication: Publication) -> None:
@@ -307,6 +409,8 @@ async def _worker_main(
         "receive_errors": runtime.receive_errors,
         "dropped_oversize": runtime.dropped_oversize,
     }
+    if telemetry_timer is not None:
+        telemetry_timer.cancel()
     runtime.close()
     trace.close()
     return result
@@ -332,6 +436,8 @@ class LiveReport:
     receive_errors: int
     wall_seconds: float
     worker_errors: List[str] = field(default_factory=list)
+    #: Telemetry snapshots collected by the parent (0 when disabled).
+    telemetry_snapshots: int = 0
 
     @property
     def ok(self) -> bool:
@@ -347,8 +453,19 @@ class LiveReport:
         return payload
 
 
-def run_live(spec: LiveSpec, boot_timeout: float = 120.0) -> LiveReport:
-    """Execute one live deployment and aggregate the verdict."""
+def run_live(
+    spec: LiveSpec,
+    boot_timeout: float = 120.0,
+    telemetry_path: Optional[Any] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> LiveReport:
+    """Execute one live deployment and aggregate the verdict.
+
+    ``telemetry_path`` / ``progress`` turn on live telemetry: workers
+    ship periodic snapshots which the parent drains while waiting,
+    appending JSONL lines to ``telemetry_path`` (when given) and
+    passing each formatted progress line to ``progress`` (when given).
+    """
     spec.validate()
     started = time.monotonic()
     epoch = time.time()
@@ -356,10 +473,13 @@ def run_live(spec: LiveSpec, boot_timeout: float = 120.0) -> LiveReport:
     ready_q: Any = ctx.Queue()
     result_q: Any = ctx.Queue()
     go_event = ctx.Event()
+    want_telemetry = telemetry_path is not None or progress is not None
+    telemetry_q: Any = ctx.Queue() if want_telemetry else None
+    collector = TelemetryCollector(telemetry_path) if want_telemetry else None
     processes = [
         ctx.Process(
             target=_worker_entry,
-            args=(spec, worker, epoch, ready_q, go_event, result_q),
+            args=(spec, worker, epoch, ready_q, go_event, result_q, telemetry_q),
             daemon=True,
         )
         for worker in range(spec.workers)
@@ -394,6 +514,7 @@ def run_live(spec: LiveSpec, boot_timeout: float = 120.0) -> LiveReport:
             )
             deadline = time.monotonic() + run_budget
             while len(results) + len(errors) < spec.workers:
+                _drain_telemetry(telemetry_q, collector, progress)
                 try:
                     outcome = result_q.get(timeout=1.0)
                 except queue_mod.Empty:
@@ -407,13 +528,20 @@ def run_live(spec: LiveSpec, boot_timeout: float = 120.0) -> LiveReport:
                     )
                 else:
                     results.append(outcome)
+            _drain_telemetry(telemetry_q, collector, progress)
     finally:
         for process in processes:
             process.join(timeout=5.0)
             if process.is_alive():
                 process.terminate()
+        _drain_telemetry(telemetry_q, collector, progress)
+        if collector is not None:
+            collector.close()
 
-    return _aggregate(spec, results, errors, time.monotonic() - started)
+    report = _aggregate(spec, results, errors, time.monotonic() - started)
+    if collector is not None:
+        report.telemetry_snapshots = collector.snapshots
+    return report
 
 
 def _aggregate(

@@ -33,6 +33,11 @@ from repro.obs.metrics import (
     MetricsRegistry,
 )
 from repro.obs.probes import probe_queue_depths
+from repro.obs.profile import (
+    KernelProfiler,
+    format_profile_report,
+    profile_simulations,
+)
 from repro.obs.sinks import (
     JsonlFileSink,
     MemorySink,
@@ -40,6 +45,12 @@ from repro.obs.sinks import (
     TraceEvent,
     TraceSink,
     normalize_field,
+)
+from repro.obs.timeseries import (
+    RingBufferSeries,
+    TimeSeriesBundle,
+    TimeSeriesRecorder,
+    record_simulations,
 )
 
 __all__ = [
@@ -52,17 +63,24 @@ __all__ = [
     "HistogramData",
     "ItemTree",
     "JsonlFileSink",
+    "KernelProfiler",
     "MemorySink",
     "MetricsRegistry",
     "PathSegment",
+    "RingBufferSeries",
     "RunManifest",
     "Span",
     "StreamingSink",
+    "TimeSeriesBundle",
+    "TimeSeriesRecorder",
     "TraceEvent",
     "TraceSink",
     "format_causal_report",
+    "format_profile_report",
     "git_revision",
     "manifest_schema_errors",
     "normalize_field",
     "probe_queue_depths",
+    "profile_simulations",
+    "record_simulations",
 ]

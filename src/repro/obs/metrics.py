@@ -178,6 +178,7 @@ class HistogramData:
             "max": self.maximum if self.count else 0.0,
             "p50": self.quantile(0.50),
             "p90": self.quantile(0.90),
+            "p95": self.quantile(0.95),
             "p99": self.quantile(0.99),
         }
 

@@ -38,6 +38,7 @@ import os
 import random
 import time
 import traceback
+from contextlib import ExitStack
 from queue import Empty
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
@@ -76,6 +77,9 @@ class _CellTask:
     seed: Optional[int]
     want_metrics: bool
     want_suite: bool
+    want_profile: bool = False
+    want_timeseries: bool = False
+    timeseries_interval: float = 1.0
 
 
 @dataclass
@@ -89,6 +93,10 @@ class CellOutcome:
     metrics: Any = None
     #: Invariant violations from the per-cell suite (when attached).
     violations: List[Any] = field(default_factory=list)
+    #: Per-cell kernel profiler (when ``want_profile``).
+    profile: Any = None
+    #: Per-cell time-series bundle (when ``want_timeseries``).
+    timeseries: Any = None
     #: Lightweight per-cell provenance: derivation, cost, worker pid.
     manifest: Dict[str, Any] = field(default_factory=dict)
     #: Formatted traceback when the cell raised; None on success.
@@ -130,6 +138,10 @@ class ParallelRun:
     violations: List[Any] = field(default_factory=list)
     #: Per-cell provenance records, canonical order.
     cells: List[Dict[str, Any]] = field(default_factory=list)
+    #: Merged kernel profiler (canonical-order fold), or None.
+    profile: Any = None
+    #: Merged time-series bundle (canonical-order fold), or None.
+    timeseries: Any = None
 
 
 def _accepts(runner: Any, name: str) -> bool:
@@ -148,7 +160,11 @@ def _execute_cell(task: _CellTask) -> CellOutcome:
     outcome = CellOutcome(index=task.index, label=task.label)
     kwargs = dict(task.kwargs)
     registry = None
-    if task.want_metrics and _accepts(task.runner, "metrics"):
+    # Time-series sampling needs a registry to snapshot, so the flag
+    # implies per-cell metrics wherever the runner can take them.
+    if (task.want_metrics or task.want_timeseries) and _accepts(
+        task.runner, "metrics"
+    ):
         from repro.obs.metrics import MetricsRegistry
 
         registry = MetricsRegistry()
@@ -160,9 +176,31 @@ def _execute_cell(task: _CellTask) -> CellOutcome:
 
         suite = InvariantSuite()
         kwargs["sinks"] = [MemorySink(), suite]
+    # Instrumentation contexts: both are dispatch monitors (observe
+    # wall time from outside the event stream), so attaching them here
+    # cannot change any cell's result — pinned by the transparency and
+    # serial-vs-parallel equivalence tests.
     started = time.perf_counter()
     try:
-        outcome.result = task.runner(**kwargs)
+        with ExitStack() as stack:
+            if task.want_profile:
+                from repro.obs.profile import KernelProfiler, profile_simulations
+
+                outcome.profile = KernelProfiler()
+                stack.enter_context(
+                    profile_simulations(profiler=outcome.profile)
+                )
+            if task.want_timeseries and registry is not None:
+                from repro.obs.timeseries import record_simulations
+
+                outcome.timeseries = stack.enter_context(
+                    record_simulations(
+                        registry,
+                        interval=task.timeseries_interval,
+                        label=task.label,
+                    )
+                )
+            outcome.result = task.runner(**kwargs)
         if suite is not None:
             outcome.violations = suite.finalize(None)
     except BaseException:
@@ -203,6 +241,9 @@ def run_cells(
     seed: Optional[int] = None,
     want_metrics: bool = False,
     want_suite: bool = False,
+    want_profile: bool = False,
+    want_timeseries: bool = False,
+    timeseries_interval: float = 1.0,
 ) -> List[CellOutcome]:
     """Run ``cells`` across ``workers`` processes; canonical-order outcomes.
 
@@ -227,6 +268,9 @@ def run_cells(
             seed=seed,
             want_metrics=want_metrics,
             want_suite=want_suite,
+            want_profile=want_profile,
+            want_timeseries=want_timeseries,
+            timeseries_interval=timeseries_interval,
         )
         for cell in cells
     ]
@@ -304,6 +348,9 @@ def run_spec_parallel(
     workers: int,
     want_metrics: bool = False,
     want_suite: bool = False,
+    want_profile: bool = False,
+    want_timeseries: bool = False,
+    timeseries_interval: float = 1.0,
 ) -> ParallelRun:
     """Run one registered experiment's sweep across worker processes.
 
@@ -323,6 +370,9 @@ def run_spec_parallel(
         seed=config.seed,
         want_metrics=want_metrics,
         want_suite=want_suite,
+        want_profile=want_profile,
+        want_timeseries=want_timeseries,
+        timeseries_interval=timeseries_interval,
     )
     result = spec.merge_cells(config, [outcome.result for outcome in outcomes])
     merged_metrics = None
@@ -333,6 +383,22 @@ def run_spec_parallel(
         for outcome in outcomes:
             if outcome.metrics is not None:
                 merged_metrics.merge(outcome.metrics)
+    merged_profile = None
+    if want_profile:
+        from repro.obs.profile import KernelProfiler
+
+        merged_profile = KernelProfiler()
+        for outcome in outcomes:
+            if outcome.profile is not None:
+                merged_profile.merge(outcome.profile)
+    merged_series = None
+    if want_timeseries:
+        from repro.obs.timeseries import TimeSeriesBundle
+
+        merged_series = TimeSeriesBundle()
+        for outcome in outcomes:
+            if outcome.timeseries is not None:
+                merged_series.merge(outcome.timeseries)
     violations: List[Any] = []
     for outcome in outcomes:
         violations.extend(outcome.violations)
@@ -341,4 +407,6 @@ def run_spec_parallel(
         metrics=merged_metrics,
         violations=violations,
         cells=[outcome.manifest for outcome in outcomes],
+        profile=merged_profile,
+        timeseries=merged_series,
     )

@@ -28,7 +28,9 @@ from __future__ import annotations
 import heapq
 import math
 import random
-from typing import Any, Callable, Iterable, Optional
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Any, Callable, Iterable, Iterator, Optional
 
 from repro.core.errors import SimulationError
 from repro.sim.rng import RngRegistry
@@ -41,6 +43,46 @@ _COMPACT_MIN_DEAD = 64
 # per simulated event, where even a LOAD_ATTR shows up in profiles.
 _heappush = heapq.heappush
 _isfinite = math.isfinite
+
+#: Factories applied to every newly constructed :class:`Simulation`
+#: (see :func:`monitored_simulations`).  Each is called with the new
+#: simulation and may return a monitor to attach, or None.
+_MONITOR_FACTORIES: tuple = ()
+
+
+@contextmanager
+def monitored_simulations(*factories) -> Iterator[None]:
+    """Attach monitors to every :class:`Simulation` built in this block.
+
+    Each factory is called as ``factory(sim)`` at construction time and
+    may return a *dispatch monitor* — an object with
+    ``observe(callback, args, elapsed_s, sim_time, heap_len)`` — or
+    None.  This is how the experiments CLI instruments runs without
+    threading a parameter through every ``run_eN`` signature: the
+    profiler and the time-series sampler both ride this hook
+    (``repro.obs.profile``, ``repro.obs.timeseries``).
+
+    Monitors observe dispatch from *outside* the event stream: they are
+    handed wall-clock cost, clock readings and a read-only view of the
+    dispatched callback, but never schedule events, never draw
+    randomness, and never mutate what they see — so an instrumented
+    fixed-seed run stays byte-identical to a bare one
+    (``tests/integration/test_instrumentation_transparency.py``).
+    """
+    global _MONITOR_FACTORIES
+    added = tuple(factories)
+    _MONITOR_FACTORIES = _MONITOR_FACTORIES + added
+    try:
+        yield
+    finally:
+        remaining = list(_MONITOR_FACTORIES)
+        for factory in added:
+            # Remove one occurrence each; nested blocks stay balanced.
+            for index in range(len(remaining) - 1, -1, -1):
+                if remaining[index] is factory:
+                    del remaining[index]
+                    break
+        _MONITOR_FACTORIES = tuple(remaining)
 
 
 class EventHandle:
@@ -99,6 +141,37 @@ class Simulation:
         self._events_processed = 0
         self.rngs = RngRegistry(seed)
         self.seed = seed
+        #: Dispatch monitors (profiler, time-series sampler) — pure
+        #: observers of the event loop; see :func:`monitored_simulations`.
+        self._monitors: tuple = ()
+        for factory in _MONITOR_FACTORIES:
+            monitor = factory(self)
+            if monitor is not None:
+                self._monitors = self._monitors + (monitor,)
+
+    # -- monitors --------------------------------------------------------
+
+    def add_monitor(self, monitor) -> None:
+        """Attach a dispatch monitor (takes effect on the next run call).
+
+        A monitor's ``observe(callback, args, elapsed_s, sim_time,
+        heap_len)`` is invoked after every dispatched event with the
+        callback object, its argument tuple (read-only — needed to see
+        through wrappers like ``Process._guarded``), its wall-clock
+        cost in seconds, the virtual time it fired at and the current
+        heap length.  Monitors are observers only: they must not
+        schedule events, draw randomness or mutate what they are handed
+        — attaching one keeps fixed-seed runs byte-identical.
+        """
+        self._monitors = self._monitors + (monitor,)
+
+    def remove_monitor(self, monitor) -> None:
+        """Detach ``monitor`` (takes effect on the next run call)."""
+        self._monitors = tuple(m for m in self._monitors if m is not monitor)
+
+    @property
+    def monitors(self) -> tuple:
+        return self._monitors
 
     # -- clock ---------------------------------------------------------
 
@@ -195,6 +268,7 @@ class Simulation:
     def step(self) -> bool:
         """Process the single next event.  Returns False when idle."""
         heap = self._heap
+        monitors = self._monitors
         while heap:
             event = heapq.heappop(heap)[2]
             if event.cancelled:
@@ -205,7 +279,16 @@ class Simulation:
             # Mark consumed so holders (e.g. Process timer lists) can
             # prune fired handles the same way as cancelled ones.
             event.cancelled = True
-            event.callback(*event.args)
+            if monitors:
+                started = perf_counter()
+                event.callback(*event.args)
+                elapsed = perf_counter() - started
+                for monitor in monitors:
+                    monitor.observe(
+                        event.callback, event.args, elapsed, event.time, len(heap)
+                    )
+            else:
+                event.callback(*event.args)
             return True
         return False
 
@@ -221,8 +304,12 @@ class Simulation:
             raise SimulationError(f"cannot run backwards to t={time}")
         # Inline pop (single heap operation per event, no re-peek via
         # step()) — this loop is the hottest few lines in the repo.
+        # Monitors are hoisted once per call: attaching one mid-run
+        # takes effect on the next run call, and the bare loop pays
+        # only a single falsy test per event when none are attached.
         heap = self._heap
         pop = heapq.heappop
+        monitors = self._monitors
         while heap:
             when, _, head = heap[0]
             if head.cancelled:
@@ -235,7 +322,16 @@ class Simulation:
             self._now = when
             self._events_processed += 1
             head.cancelled = True  # consumed marker, as in step()
-            head.callback(*head.args)
+            if monitors:
+                started = perf_counter()
+                head.callback(*head.args)
+                elapsed = perf_counter() - started
+                for monitor in monitors:
+                    monitor.observe(
+                        head.callback, head.args, elapsed, when, len(heap)
+                    )
+            else:
+                head.callback(*head.args)
         self._now = max(self._now, time)
 
     def run_for(self, duration: float) -> None:

@@ -1,0 +1,75 @@
+"""Parent-side telemetry collection: no processes, pure dict-in/line-out."""
+
+import json
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.live.deploy import LiveSpec, TelemetryCollector, _drain_telemetry
+
+
+def snap(worker=0, t=2.0, delivered=12, dup=3, published=5, queue=1):
+    return {
+        "worker": worker,
+        "t": t,
+        "delivered": delivered,
+        "dup_dropped": dup,
+        "published": published,
+        "queue_depth": queue,
+    }
+
+
+class TestTelemetryCollector:
+    def test_format_line(self):
+        line = TelemetryCollector.format_line(snap())
+        assert line == "[live w0 t=2.0s] delivered=12 dup=3 published=5 queue=1"
+
+    def test_record_writes_jsonl_and_counts(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        collector = TelemetryCollector(path)
+        collector.record(snap(worker=0, t=1.0))
+        collector.record(snap(worker=1, t=1.0, delivered=7))
+        collector.close()
+        assert collector.snapshots == 2
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [row["worker"] for row in rows] == [0, 1]
+        assert rows[1]["delivered"] == 7
+
+    def test_pathless_collector_only_counts(self):
+        collector = TelemetryCollector()
+        line = collector.record(snap())
+        collector.close()
+        assert collector.snapshots == 1
+        assert line.startswith("[live w0")
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "dir" / "telemetry.jsonl"
+        collector = TelemetryCollector(path)
+        collector.record(snap())
+        collector.close()
+        assert path.exists()
+
+
+class TestDrainTelemetry:
+    def test_drains_queue_into_collector_and_progress(self):
+        import queue
+
+        q = queue.Queue()
+        q.put(snap(worker=0, t=1.0))
+        q.put(snap(worker=1, t=1.0))
+        collector = TelemetryCollector()
+        lines = []
+        _drain_telemetry(q, collector, lines.append)
+        assert collector.snapshots == 2
+        assert len(lines) == 2
+        assert q.empty()
+
+    def test_noop_without_queue(self):
+        _drain_telemetry(None, TelemetryCollector(), None)
+
+
+class TestLiveSpecTelemetry:
+    def test_interval_default_and_validation(self):
+        assert LiveSpec().telemetry_interval == 1.0
+        with pytest.raises(ConfigurationError):
+            LiveSpec(telemetry_interval=0.0).validate()

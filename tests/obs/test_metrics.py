@@ -77,7 +77,16 @@ class TestHistogramData:
         hist.observe(0.5)
         payload = hist.as_dict()
         assert payload["count"] == 1
-        assert set(payload) == {"count", "mean", "min", "max", "p50", "p90", "p99"}
+        assert set(payload) == {
+            "count",
+            "mean",
+            "min",
+            "max",
+            "p50",
+            "p90",
+            "p95",
+            "p99",
+        }
 
 
 class TestMetricsRegistry:

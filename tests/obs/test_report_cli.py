@@ -1,0 +1,108 @@
+"""The report CLI fails with one-line errors, never tracebacks."""
+
+import json
+
+import pytest
+
+from repro.obs.report import (
+    ReportError,
+    main,
+    read_jsonl,
+    report_from_profile,
+    report_from_telemetry,
+)
+
+
+def run_cli(argv, capsys):
+    code = main(argv)
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestReadJsonl:
+    def test_reads_rows_skipping_blank_lines(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        path.write_text('{"a": 1}\n\n{"a": 2}\n')
+        assert read_jsonl(path) == [{"a": 1}, {"a": 2}]
+
+    def test_corrupt_line_reported_with_line_number(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        path.write_text('{"a": 1}\nnot json\n')
+        with pytest.raises(ReportError, match=r"line 2"):
+            read_jsonl(path)
+
+
+class TestErrorPaths:
+    def test_missing_trace_is_one_line_nonzero(self, capsys):
+        code, out, err = run_cli(["--trace", "/no/such/file.jsonl"], capsys)
+        assert code == 2
+        assert err.strip() == "no such trace file: /no/such/file.jsonl"
+
+    def test_missing_telemetry_is_one_line_nonzero(self, capsys):
+        code, out, err = run_cli(["--telemetry", "/no/such.jsonl"], capsys)
+        assert code == 2
+        assert "no such telemetry file" in err
+
+    def test_missing_profile_is_one_line_nonzero(self, capsys):
+        code, out, err = run_cli(["--profile", "/no/such.json"], capsys)
+        assert code == 2
+        assert "no such profile file" in err
+
+    def test_corrupt_trace_is_one_line_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"ok": 1}\n{broken\n')
+        code, out, err = run_cli(["--trace", str(path)], capsys)
+        assert code == 2
+        assert err.startswith("error: corrupt JSONL")
+        assert "line 2" in err
+
+    def test_corrupt_telemetry_is_one_line_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "telemetry.jsonl"
+        path.write_text("}{\n")
+        code, out, err = run_cli(["--telemetry", str(path)], capsys)
+        assert code == 2
+        assert err.startswith("error: corrupt JSONL")
+        assert err.count("\n") == 1
+
+    def test_non_profile_json_is_rejected(self, tmp_path, capsys):
+        path = tmp_path / "profile.json"
+        path.write_text('{"something": "else"}')
+        code, out, err = run_cli(["--profile", str(path)], capsys)
+        assert code == 2
+        assert "not a profile artifact" in err
+
+
+class TestTelemetryReport:
+    def test_summarizes_per_worker(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        rows = [
+            {"worker": 0, "t": 1.0, "delivered": 3, "dup_dropped": 1,
+             "published": 2, "queue_depth": 4},
+            {"worker": 0, "t": 2.0, "delivered": 9, "dup_dropped": 2,
+             "published": 5, "queue_depth": 0},
+            {"worker": 1, "t": 2.0, "delivered": 8, "dup_dropped": 1,
+             "published": 0, "queue_depth": 2},
+        ]
+        path.write_text("".join(json.dumps(r) + "\n" for r in rows))
+        text = report_from_telemetry(path)
+        assert "3 snapshots, 2 workers" in text
+        assert "w0" in text and "w1" in text
+        # Last snapshot wins for cumulative columns; queue depth is max.
+        assert "9" in text and "4" in text
+
+
+class TestProfileReport:
+    def test_renders_saved_artifact(self, tmp_path):
+        from repro.obs.profile import KernelProfiler
+
+        profiler = KernelProfiler()
+        def handler():
+            pass
+        handler.__module__ = "repro.gossip.x"
+        handler.__qualname__ = "x.handler"
+        profiler.observe(handler, (), 0.5, 1.0, 3)
+        path = tmp_path / "profile.json"
+        path.write_text(json.dumps(profiler.summary()))
+        text = report_from_profile(path)
+        assert "dispatch wall-time by category" in text
+        assert "gossip" in text
