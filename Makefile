@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-quick lint fuzz bench bench-pytest bench-sweep sweep experiments experiments-quick report profile examples live clean
+.PHONY: install test test-fast test-quick lint fuzz fuzz-routing bench bench-pytest bench-sweep sweep experiments experiments-quick report profile examples live clean
 
 install:
 	pip install -e '.[test]'
@@ -31,6 +31,13 @@ lint:
 # (docs/TESTKIT.md).  Same budget as the CI fuzz-smoke job.
 fuzz:
 	$(PYTHON) -m repro.testkit.fuzz --seeds 25 --quick --keep-going
+
+# The routing profile: every scenario runs a stabilizing scheme under
+# a churn storm plus summary corruption, and must reconverge
+# (routing-stabilizes; docs/ROUTING.md).
+fuzz-routing:
+	$(PYTHON) -m repro.testkit.fuzz --seeds 25 --quick --keep-going \
+		--profile routing
 
 # Substrate microbenchmarks + the perf gate: fails if any hot path
 # regresses past its per-workload tolerance vs the recorded baseline.

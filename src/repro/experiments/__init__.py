@@ -27,6 +27,7 @@ from repro.experiments.e8_branching import E8Result, run_e8
 from repro.experiments.e9_queues import E9Result, run_e9
 from repro.experiments.e10_scoped import E10Result, run_e10
 from repro.experiments.e11_partition import E11Result, run_e11
+from repro.experiments.e12_routing import E12Result, run_e12
 
 __all__ = [
     "ExperimentConfig",
@@ -46,6 +47,7 @@ __all__ = [
     "E9Result",
     "E10Result",
     "E11Result",
+    "E12Result",
     "run_e1",
     "run_e2",
     "run_e3",
@@ -59,4 +61,5 @@ __all__ = [
     "run_e9",
     "run_e10",
     "run_e11",
+    "run_e12",
 ]

@@ -6,10 +6,13 @@ from repro.pubsub.schemes import (
     BloomScheme,
     PrefixBloomScheme,
     PublisherMaskScheme,
+    StabilizingScheme,
+    SubgroupScheme,
+    SubgroupStats,
     SubscriptionScheme,
     categories_registry,
 )
-from repro.pubsub.subscription import Subscription
+from repro.pubsub.subscription import Subscription, subjects_key
 
 __all__ = [
     "BloomScheme",
@@ -17,9 +20,13 @@ __all__ = [
     "PUBSUB_TRACE_KINDS",
     "PubSubNode",
     "PublisherMaskScheme",
+    "StabilizingScheme",
+    "SubgroupScheme",
+    "SubgroupStats",
     "Subscription",
     "SubscriptionScheme",
     "build_pubsub",
     "categories_registry",
     "item_metadata",
+    "subjects_key",
 ]

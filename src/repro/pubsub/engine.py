@@ -34,6 +34,12 @@ PUBSUB_TRACE_KINDS = {
     "forward",
     "dup-dropped",
     "repair-delivered",
+    # adaptive routing (docs/ROUTING.md): interest churn and the
+    # stabilization/corruption lifecycle
+    "unsubscribe",
+    "resubscribe",
+    "summary-corrupt",
+    "summary-repair",
     # causal tracing
     "subscribe",
     "queue-sent",

@@ -16,7 +16,8 @@ multicast with a selective forwarding mechanism": a
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Optional
+import random
+from typing import Any, Iterable, Mapping, Optional
 
 from repro.core.config import NewsWireConfig
 from repro.core.identifiers import ItemId, NodeId, ZonePath
@@ -79,13 +80,35 @@ class PubSubNode(MulticastNode):
         self.scheme = scheme if scheme is not None else BloomScheme(self.config.bloom)
         self._subscriptions: list[Subscription] = []
         self._publish_serial = 0
+        self._leaf_key = str(self.node_id)
+        self._refresh_timer = None
         metrics = self.trace.metrics
         self._m_bloom_tests = metrics.counter("bloom.tests")
         self._m_bloom_hits = metrics.counter("bloom.hits")
         self._m_publishes = metrics.counter("pubsub.publishes")
+        self._m_refreshes = metrics.counter("pubsub.summary_refreshes")
+        self._m_repairs = metrics.counter("pubsub.summary_repairs")
         self.set_attributes(
-            {"publishers": (), **self.scheme.leaf_attributes(())}
+            {
+                "publishers": (),
+                **self.scheme.leaf_attributes((), leaf_key=self._leaf_key),
+            }
         )
+
+    def on_start(self) -> None:
+        super().on_start()
+        # Stabilizing schemes carry a refresh interval: the node
+        # periodically re-derives its summary from its true
+        # subscription list, the self-repair loop docs/ROUTING.md's
+        # stabilization contract rests on.  The jitter comes from a
+        # dedicated named RNG stream so enabling refresh never perturbs
+        # the gossip/multicast streams of a fixed-seed run.
+        interval = getattr(self.scheme, "refresh_interval", None)
+        if interval:
+            jitter = self.runtime.rng("pubsub-refresh").uniform(0, interval)
+            self._refresh_timer = self.every(
+                interval, self._summary_refresh_round, first_delay=jitter
+            )
 
     # ------------------------------------------------------------------
     # Subscription management
@@ -112,9 +135,89 @@ class PubSubNode(MulticastNode):
         except ValueError:
             return
         self._export_subscriptions()
+        self.trace.record(
+            "unsubscribe", node=str(self.node_id), subject=subscription.subject
+        )
+
+    def resubscribe(
+        self, old: Optional[Subscription], new: Optional[Subscription]
+    ) -> None:
+        """Swap ``old`` for ``new`` with a single summary re-export.
+
+        The interest-churn primitive: a subscriber changing its mind
+        mid-flight must atomically retract the old subject's bits and
+        advertise the new ones, so an in-transit publish races with at
+        most one summary refresh (tests/pubsub/test_churn.py).
+        """
+        changed = False
+        if old is not None and old in self._subscriptions:
+            self._subscriptions.remove(old)
+            changed = True
+        if new is not None and new not in self._subscriptions:
+            self._subscriptions.append(new)
+            changed = True
+        if not changed:
+            return
+        self._export_subscriptions()
+        self.trace.record(
+            "resubscribe",
+            node=str(self.node_id),
+            dropped="" if old is None else old.subject,
+            adopted="" if new is None else new.subject,
+        )
+
+    def rotate_subscription(
+        self, rng: random.Random, subjects: Iterable[str]
+    ) -> None:
+        """One churn-storm step: drop a random current subscription and
+        adopt a random subject (the failure injector's entry point)."""
+        old = rng.choice(self._subscriptions) if self._subscriptions else None
+        pool = [s for s in subjects]
+        new = Subscription(rng.choice(pool)) if pool else None
+        self.resubscribe(old, new)
 
     def _export_subscriptions(self) -> None:
-        self.set_attributes(self.scheme.leaf_attributes(self._subscriptions))
+        self.set_attributes(
+            self.scheme.leaf_attributes(self._subscriptions, leaf_key=self._leaf_key)
+        )
+
+    # ------------------------------------------------------------------
+    # Summary stabilization / corruption (docs/ROUTING.md)
+    # ------------------------------------------------------------------
+
+    def _summary_refresh_round(self) -> None:
+        """One self-stabilization round: re-derive the summary from the
+        true subscription list; re-export on any mismatch.  Arbitrary
+        corruption of the exported routing state is repaired here, and
+        re-clustered subgroup placements are picked up."""
+        self._m_refreshes.inc()
+        expected = self.scheme.leaf_attributes(
+            self._subscriptions, leaf_key=self._leaf_key
+        )
+        if all(
+            self.get_attribute(name) == value for name, value in expected.items()
+        ):
+            return
+        self.set_attributes(expected)
+        self._m_repairs.inc()
+        self.trace.record("summary-repair", node=str(self.node_id))
+
+    def corrupt_summary(self, rng: random.Random) -> None:
+        """Adversarially overwrite this node's exported summary state.
+
+        Invoked by the failure injector's ``summary-corruption`` events:
+        each summary attribute is either zeroed (suppressing the node's
+        interests — silent false negatives downstream) or replaced with
+        random garbage (phantom interests — false-positive forwarding).
+        Only a stabilizing scheme's refresh rounds undo this.
+        """
+        garbage = {}
+        config = getattr(self.scheme, "config", None)
+        num_bits = getattr(config, "num_bits", 256)
+        for name in self.scheme.summary_attributes():
+            garbage[name] = 0 if rng.random() < 0.5 else rng.getrandbits(num_bits)
+        self.set_attributes(garbage)
+        self.trace.record("summary-corrupt", node=str(self.node_id))
 
     # ------------------------------------------------------------------
     # Publishing

@@ -18,13 +18,29 @@ A scheme answers four questions:
 4. given a child zone's aggregated row and an item's hints, *may* the
    zone contain a matching subscriber?
 
-Experiment E5 sweeps both schemes' accuracy/state trade-off.
+Beyond the paper's two generations, two adaptive schemes implement
+ROADMAP item 3 (see docs/ROUTING.md):
+
+* :class:`SubgroupScheme` — subscription subgrouping (Shafique, arXiv
+  1604.06853 / 1611.08743): subscribers are clustered by interest-set
+  similarity (bitmask Jaccard) into ``k`` subgroups, each advertising
+  its own tight Bloom summary, with drift-triggered re-clustering
+  under re-subscription churn;
+* :class:`StabilizingScheme` — a self-stabilizing wrapper (Feldmann et
+  al., arXiv 1710.08128): nodes periodically recompute and re-export
+  their summaries from their true subscription lists, so arbitrarily
+  corrupted routing state provably reconverges (the testkit's
+  ``routing-stabilizes`` invariant checks exactly this contract).
+
+Experiment E5 sweeps the paper schemes' accuracy/state trade-off; E12
+compares all schemes on redundancy/latency/false-positive fronts.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, Iterable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set
 
 from repro.core.bitmask import CategoryMask, CategoryRegistry
 from repro.core.bloom import BloomFilter, bit_positions, positions_mask
@@ -43,15 +59,59 @@ class SubscriptionScheme(ABC):
     #: Name for the aggregation certificate this scheme installs.
     aggregation_name = "pubsub"
 
+    #: Whether this scheme carries the self-stabilization contract: its
+    #: summaries are periodically refreshed from ground truth, so the
+    #: ``routing-stabilizes`` invariant holds it to full reconvergence
+    #: even after trace-injected corruption.
+    stabilizes = False
+
     @abstractmethod
     def leaf_attributes(
-        self, subscriptions: Sequence[Subscription]
+        self,
+        subscriptions: Sequence[Subscription],
+        leaf_key: Optional[str] = None,
     ) -> Dict[str, AttributeValue]:
-        """Attributes a leaf exports to represent ``subscriptions``."""
+        """Attributes a leaf exports to represent ``subscriptions``.
+
+        ``leaf_key`` is a stable identity for the exporting leaf (the
+        node-id string).  Stateless schemes ignore it; the adaptive
+        :class:`SubgroupScheme` uses it to keep each subscriber's
+        subgroup assignment consistent across re-exports.
+        """
 
     @abstractmethod
     def aggregation_source(self) -> str:
         """AQL aggregating those attributes into parent rows."""
+
+    def summary_attributes(self) -> tuple[str, ...]:
+        """Names of the subscription-summary attributes a leaf exports.
+
+        The corruption injector flips exactly these, and the
+        ``routing-stabilizes`` invariant compares exactly these against
+        the scheme's recomputed ground truth.
+        """
+        return ("subs",)
+
+    def summary_matches(
+        self,
+        exported: Mapping[str, object],
+        subscriptions: Sequence[Subscription],
+        leaf_key: Optional[str] = None,
+    ) -> bool:
+        """Does a leaf's exported summary state match its true
+        subscriptions?  Must be a *pure read* — invariant checkers call
+        it at finalize time and may not perturb scheme state."""
+        expected = self.expected_leaf_attributes(subscriptions, leaf_key)
+        return all(exported.get(name) == value for name, value in expected.items())
+
+    def expected_leaf_attributes(
+        self,
+        subscriptions: Sequence[Subscription],
+        leaf_key: Optional[str] = None,
+    ) -> Dict[str, AttributeValue]:
+        """Ground-truth summary for ``subscriptions`` without mutating
+        any clustering state (stateless schemes just re-encode)."""
+        return self.leaf_attributes(subscriptions)
 
     @abstractmethod
     def hints_for(self, subject: str, publisher: str) -> RoutingHints:
@@ -92,7 +152,11 @@ class BloomScheme(SubscriptionScheme):
     #: flight; cleared wholesale if a workload exceeds it).
     _MASK_CACHE_LIMIT = 65536
 
-    def __init__(self, bloom: BloomConfig = BloomConfig()):
+    def __init__(self, bloom: Optional[BloomConfig] = None):
+        # ``None`` default, constructed per instance: a shared
+        # module-level default instance would be mutated/aliased across
+        # every default-constructed scheme.
+        bloom = bloom if bloom is not None else BloomConfig()
         bloom.validate()
         self.config = bloom
         # hints tuple -> precomputed integer mask.  The scheme object is
@@ -111,7 +175,9 @@ class BloomScheme(SubscriptionScheme):
         return mask
 
     def leaf_attributes(
-        self, subscriptions: Sequence[Subscription]
+        self,
+        subscriptions: Sequence[Subscription],
+        leaf_key: Optional[str] = None,
     ) -> Dict[str, AttributeValue]:
         bloom = BloomFilter(self.config.num_bits, self.config.num_hashes)
         for subscription in subscriptions:
@@ -159,8 +225,13 @@ class PublisherMaskScheme(SubscriptionScheme):
     def _attr(self, publisher: str) -> str:
         return f"pub_{publisher}"
 
+    def summary_attributes(self) -> tuple[str, ...]:
+        return tuple(self._attr(p) for p in sorted(self.registries))
+
     def leaf_attributes(
-        self, subscriptions: Sequence[Subscription]
+        self,
+        subscriptions: Sequence[Subscription],
+        leaf_key: Optional[str] = None,
     ) -> Dict[str, AttributeValue]:
         masks: Dict[str, CategoryMask] = {
             publisher: CategoryMask(registry)
@@ -230,7 +301,9 @@ class PrefixBloomScheme(BloomScheme):
         return tuple(keys)
 
     def leaf_attributes(
-        self, subscriptions: Sequence[Subscription]
+        self,
+        subscriptions: Sequence[Subscription],
+        leaf_key: Optional[str] = None,
     ) -> Dict[str, AttributeValue]:
         bloom = BloomFilter(self.config.num_bits, self.config.num_hashes)
         for subscription in subscriptions:
@@ -253,6 +326,284 @@ class PrefixBloomScheme(BloomScheme):
             if bits & mask == mask:
                 return True
         return False
+
+
+@dataclass
+class SubgroupStats:
+    """Clustering telemetry :class:`SubgroupScheme` accumulates."""
+
+    #: Members currently registered (distinct leaf keys seen).
+    members: int = 0
+    #: Re-exports whose best-matching subgroup differed from the
+    #: member's current assignment (the drift signal).
+    drift_events: int = 0
+    #: Full re-clustering passes triggered by the drift threshold.
+    reclusters: int = 0
+
+
+class SubgroupScheme(BloomScheme):
+    """Subscription subgrouping: per-cluster Bloom summaries.
+
+    A flat Bloom aggregate ORs *every* subscriber's bits together, so a
+    zone containing one sports fan and one markets trader appears to
+    subscribe to any subject whose bits happen to split across the two
+    interest sets — the cross-member false positives Shafique's
+    subgrouping work (arXiv 1604.06853, 1611.08743) attacks.  This
+    scheme clusters subscribers by interest-set similarity (Jaccard
+    over the interest bitmask ints the Bloom encoding already produces)
+    into ``num_subgroups`` subgroups; each leaf exports its bits under
+    its subgroup's attribute only (``subs_g0`` .. ``subs_g{k-1}``), and
+    a forwarder tests the item against each per-subgroup aggregate
+    separately.  Because the union of the subgroup aggregates equals
+    the flat aggregate, the test can only be *tighter*: zero false
+    negatives, never more false positives.
+
+    Clustering is online and deterministic: a new interest set joins
+    the most-similar subgroup centroid (ties to the lowest index; with
+    no overlap anywhere, the smallest subgroup).  Re-subscription churn
+    makes assignments drift away from their best cluster; when the
+    drifted fraction exceeds ``drift_threshold``, the scheme re-clusters
+    every known member from scratch (members pick the new placement up
+    at their next summary export — the stabilizing wrapper's refresh
+    rounds, or their own next (un)subscribe).
+    """
+
+    def __init__(
+        self,
+        bloom: Optional[BloomConfig] = None,
+        num_subgroups: int = 4,
+        drift_threshold: float = 0.25,
+    ):
+        super().__init__(bloom)
+        if num_subgroups < 2:
+            raise SubscriptionError("num_subgroups must be >= 2")
+        if not 0.0 < drift_threshold <= 1.0:
+            raise SubscriptionError("drift_threshold must be in (0, 1]")
+        self.num_subgroups = num_subgroups
+        self.drift_threshold = drift_threshold
+        self._assignment: Dict[str, int] = {}      # leaf_key -> subgroup
+        self._member_bits: Dict[str, int] = {}     # leaf_key -> interest mask
+        self._centroids: List[int] = [0] * num_subgroups
+        self._group_sizes: List[int] = [0] * num_subgroups
+        self._drifted: Set[str] = set()
+        self.stats = SubgroupStats()
+
+    def _attr(self, group: int) -> str:
+        return f"subs_g{group}"
+
+    def summary_attributes(self) -> tuple[str, ...]:
+        return tuple(self._attr(g) for g in range(self.num_subgroups))
+
+    @staticmethod
+    def jaccard(a: int, b: int) -> float:
+        """Interest-set similarity of two bitmask ints."""
+        union = a | b
+        if not union:
+            return 0.0
+        return (a & b).bit_count() / union.bit_count()
+
+    def _best_subgroup(self, bits: int) -> int:
+        """Deterministic placement: most-similar centroid, ties to the
+        lowest index; a mask overlapping no centroid balances onto the
+        smallest subgroup (again ties low)."""
+        best_group, best_similarity = 0, 0.0
+        for group, centroid in enumerate(self._centroids):
+            similarity = self.jaccard(bits, centroid)
+            if similarity > best_similarity:
+                best_group, best_similarity = group, similarity
+        if best_similarity > 0.0:
+            return best_group
+        return min(range(self.num_subgroups), key=lambda g: (self._group_sizes[g], g))
+
+    def _place(self, leaf_key: str, bits: int) -> int:
+        group = self._best_subgroup(bits)
+        self._assignment[leaf_key] = group
+        self._member_bits[leaf_key] = bits
+        self._centroids[group] |= bits
+        self._group_sizes[group] += 1
+        return group
+
+    def _observe(self, leaf_key: str, bits: int) -> int:
+        """Register/refresh a member's interest mask; returns its
+        subgroup.  Tracks drift and re-clusters past the threshold."""
+        assigned = self._assignment.get(leaf_key)
+        if assigned is None:
+            group = self._place(leaf_key, bits)
+            self.stats.members = len(self._assignment)
+            return group
+        if bits != self._member_bits[leaf_key]:
+            self._member_bits[leaf_key] = bits
+            # Centroids only ever grow between re-clusters (removing a
+            # member's old bits from an OR is not incremental); stale
+            # centroid bits can cost accuracy, never correctness.
+            self._centroids[assigned] |= bits
+            if self._best_subgroup(bits) != assigned and leaf_key not in self._drifted:
+                self._drifted.add(leaf_key)
+                self.stats.drift_events += 1
+            if len(self._drifted) > self.drift_threshold * len(self._assignment):
+                self._recluster()
+        return self._assignment[leaf_key]
+
+    def _recluster(self) -> None:
+        """Re-place every known member from scratch (deterministic:
+        members are re-inserted in sorted leaf-key order)."""
+        self.stats.reclusters += 1
+        self._centroids = [0] * self.num_subgroups
+        self._group_sizes = [0] * self.num_subgroups
+        self._drifted.clear()
+        members = sorted(self._member_bits.items())
+        self._assignment.clear()
+        for leaf_key, bits in members:
+            self._place(leaf_key, bits)
+
+    def _encode(self, subscriptions: Sequence[Subscription]) -> int:
+        bloom = BloomFilter(self.config.num_bits, self.config.num_hashes)
+        for subscription in subscriptions:
+            bloom.add(subscription.subject)
+        return bloom.to_int()
+
+    def leaf_attributes(
+        self,
+        subscriptions: Sequence[Subscription],
+        leaf_key: Optional[str] = None,
+    ) -> Dict[str, AttributeValue]:
+        bits = self._encode(subscriptions)
+        if leaf_key is None:
+            group = self._best_subgroup(bits)  # anonymous: no registration
+        else:
+            group = self._observe(leaf_key, bits)
+        return {
+            self._attr(g): bits if g == group else 0
+            for g in range(self.num_subgroups)
+        }
+
+    def expected_leaf_attributes(
+        self,
+        subscriptions: Sequence[Subscription],
+        leaf_key: Optional[str] = None,
+    ) -> Dict[str, AttributeValue]:
+        bits = self._encode(subscriptions)
+        group = self._assignment.get(leaf_key) if leaf_key is not None else None
+        if group is None:
+            group = self._best_subgroup(bits)
+        return {
+            self._attr(g): bits if g == group else 0
+            for g in range(self.num_subgroups)
+        }
+
+    def summary_matches(
+        self,
+        exported: Mapping[str, object],
+        subscriptions: Sequence[Subscription],
+        leaf_key: Optional[str] = None,
+    ) -> bool:
+        """Placement-independent ground truth: the union of the
+        exported per-subgroup summaries must equal the recomputed flat
+        interest filter, spread over exactly one subgroup.  (A
+        re-cluster elsewhere may change this member's *assignment*
+        before its next export; that moves bits between attributes
+        without making routing state wrong.)"""
+        values = []
+        for name in self.summary_attributes():
+            value = exported.get(name)
+            if not isinstance(value, int):
+                return False
+            values.append(value)
+        bits = self._encode(subscriptions)
+        union = 0
+        for value in values:
+            union |= value
+        populated = sum(1 for value in values if value)
+        return union == bits and populated == (1 if bits else 0)
+
+    def zone_may_match(self, row: Mapping[str, object], hints: RoutingHints) -> bool:
+        mask = self._mask_for(hints)
+        saw_summary = False
+        for group in range(self.num_subgroups):
+            bits = row.get(self._attr(group))
+            if not isinstance(bits, int):
+                continue
+            saw_summary = True
+            if bits & mask == mask:
+                return True
+        # No subgroup attribute at all: fail open, filter at the leaf.
+        return not saw_summary
+
+    def aggregation_source(self) -> str:
+        items = ", ".join(
+            f"BOR({self._attr(g)}) AS {self._attr(g)}"
+            for g in range(self.num_subgroups)
+        )
+        return f"SELECT {items}, UNION(publishers) AS publishers"
+
+
+class StabilizingScheme(SubscriptionScheme):
+    """Self-stabilizing repair wrapper around any other scheme.
+
+    Adds the recovery contract of Feldmann et al.'s supervised
+    self-stabilizing pub-sub (arXiv 1710.08128) to an ``inner`` scheme:
+    nodes running a stabilizing scheme re-derive their summary
+    attributes from their true subscription lists every
+    ``refresh_interval`` seconds (:meth:`PubSubNode._summary_refresh_round`)
+    and re-export on any mismatch.  Because the leaf row is the *root*
+    of all aggregated routing state — parents recompute their
+    aggregates from child rows on every gossip round — repairing the
+    leaves provably reconverges the whole tree: after the last
+    corruption, every summary is correct within one refresh interval
+    plus an aggregation epidemic (O(log n) gossip rounds).
+
+    The testkit's ``routing-stabilizes`` invariant checks this contract
+    end-of-run; the fuzz routing profile injects ``summary-corruption``
+    and churn-storm events against it.
+    """
+
+    stabilizes = True
+
+    def __init__(self, inner: SubscriptionScheme, refresh_interval: float = 5.0):
+        if refresh_interval <= 0:
+            raise SubscriptionError("refresh_interval must be positive")
+        self.inner = inner
+        self.refresh_interval = refresh_interval
+        self.aggregation_name = inner.aggregation_name
+
+    @property
+    def config(self):
+        """The inner scheme's Bloom geometry (when it has one)."""
+        return getattr(self.inner, "config", None)
+
+    def leaf_attributes(
+        self,
+        subscriptions: Sequence[Subscription],
+        leaf_key: Optional[str] = None,
+    ) -> Dict[str, AttributeValue]:
+        return self.inner.leaf_attributes(subscriptions, leaf_key)
+
+    def expected_leaf_attributes(
+        self,
+        subscriptions: Sequence[Subscription],
+        leaf_key: Optional[str] = None,
+    ) -> Dict[str, AttributeValue]:
+        return self.inner.expected_leaf_attributes(subscriptions, leaf_key)
+
+    def summary_attributes(self) -> tuple[str, ...]:
+        return self.inner.summary_attributes()
+
+    def summary_matches(
+        self,
+        exported: Mapping[str, object],
+        subscriptions: Sequence[Subscription],
+        leaf_key: Optional[str] = None,
+    ) -> bool:
+        return self.inner.summary_matches(exported, subscriptions, leaf_key)
+
+    def aggregation_source(self) -> str:
+        return self.inner.aggregation_source()
+
+    def hints_for(self, subject: str, publisher: str) -> RoutingHints:
+        return self.inner.hints_for(subject, publisher)
+
+    def zone_may_match(self, row: Mapping[str, object], hints: RoutingHints) -> bool:
+        return self.inner.zone_may_match(row, hints)
 
 
 def categories_registry(publisher_categories: Mapping[str, Iterable[str]]) -> Dict[str, CategoryRegistry]:

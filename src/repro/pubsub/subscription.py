@@ -11,10 +11,21 @@ evaluated only at the leaf, against the full item.
 
 from __future__ import annotations
 
-from typing import Callable, Mapping, Optional
+from typing import Callable, Iterable, Mapping, Optional
 
 from repro.core.errors import SubscriptionError
 from repro.astrolabe.aql import compile_predicate
+
+
+def subjects_key(subscriptions: Iterable["Subscription"]) -> tuple[str, ...]:
+    """Canonical interest-set identity: sorted, de-duplicated subjects.
+
+    Predicates narrow *which items* of a subject match at the leaf but
+    never widen routing interest, so two subscription sets with equal
+    subject keys occupy identical bits in every scheme's summary —
+    the identity subgroup clustering and the churn tests key on.
+    """
+    return tuple(sorted({s.subject for s in subscriptions}))
 
 
 class Subscription:

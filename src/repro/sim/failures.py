@@ -39,6 +39,8 @@ class FailureStats:
     recoveries: int = 0
     partitions: int = 0
     flood_messages: int = 0
+    summary_corruptions: int = 0
+    resubscriptions: int = 0
 
 
 class FailureInjector:
@@ -192,6 +194,64 @@ class FailureInjector:
 
         self.sim.call_at(start + self._rng.expovariate(rate), send_one)
 
+    # -- routing-state attacks (docs/ROUTING.md) ----------------------------
+
+    def corrupt_summary_at(self, time: float, process: Process) -> None:
+        """Overwrite ``process``'s exported routing summary at ``time``.
+
+        Duck-typed like the crash path: only processes exposing
+        ``corrupt_summary`` (pub/sub nodes) are affected; the event is a
+        no-op against plain agents or a node that is down at the time.
+        """
+
+        def corrupt() -> None:
+            attack = getattr(process, "corrupt_summary", None)
+            if attack is None or process.crashed:
+                return
+            attack(self._rng)
+            self.stats.summary_corruptions += 1
+
+        self.sim.call_at(time, corrupt)
+
+    def churn_storm(
+        self,
+        time: float,
+        processes: Sequence[Process],
+        rate: float,
+        duration: float,
+        subjects: Sequence[str],
+    ) -> None:
+        """Interest churn: ``rate`` re-subscriptions per second overall.
+
+        Each step picks a random up-node exposing
+        ``rotate_subscription`` and has it swap a random current
+        subscription for a random subject from ``subjects`` — the
+        re-subscription regime the subgroup scheme's drift detection
+        and the ``routing-stabilizes`` invariant are exercised under.
+        """
+        if rate <= 0:
+            raise ConfigurationError("churn rate must be positive")
+        if not subjects:
+            raise ConfigurationError("churn storm needs a non-empty subject pool")
+        pool = list(subjects)
+        end = time + duration
+
+        def rotate_one() -> None:
+            if self.sim.now > end:
+                return
+            alive = [
+                p
+                for p in processes
+                if not p.crashed and hasattr(p, "rotate_subscription")
+            ]
+            if alive:
+                victim = self._rng.choice(alive)
+                victim.rotate_subscription(self._rng, pool)
+                self.stats.resubscriptions += 1
+            self.sim.call_after(self._rng.expovariate(rate), rotate_one)
+
+        self.sim.call_at(time + self._rng.expovariate(rate), rotate_one)
+
     # -- loss bursts --------------------------------------------------------
 
     def loss_burst(self, time: float, rate: float, duration: float) -> None:
@@ -223,7 +283,13 @@ class FailureInjector:
 # ----------------------------------------------------------------------
 
 #: Event kinds a :class:`FailureSchedule` may carry.
-FAILURE_KINDS = ("crash", "partition", "loss-burst")
+FAILURE_KINDS = (
+    "crash",
+    "partition",
+    "loss-burst",
+    "summary-corruption",
+    "churn-storm",
+)
 
 
 @dataclass(frozen=True)
@@ -242,6 +308,12 @@ class FailureEvent:
       ``time``; heal after ``duration``.
     * ``loss-burst`` — raise the network loss rate to ``rate`` during
       [``time``, ``time + duration``).
+    * ``summary-corruption`` — overwrite the exported routing summary
+      of every node in ``nodes`` at ``time`` (docs/ROUTING.md).
+    * ``churn-storm`` — re-subscription churn at ``rate`` swaps/second
+      across ``nodes`` (all nodes when empty) during
+      [``time``, ``time + duration``), drawing from the ``subjects``
+      pool.
     """
 
     kind: str
@@ -250,6 +322,7 @@ class FailureEvent:
     nodes: tuple[int, ...] = ()
     groups: tuple[tuple[int, ...], ...] = ()
     rate: float = 0.0
+    subjects: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.kind not in FAILURE_KINDS:
@@ -274,6 +347,8 @@ class FailureEvent:
             record["groups"] = [list(group) for group in self.groups]
         if self.rate:
             record["rate"] = self.rate
+        if self.subjects:
+            record["subjects"] = list(self.subjects)
         return record
 
     @classmethod
@@ -287,6 +362,7 @@ class FailureEvent:
                 tuple(int(n) for n in group) for group in raw.get("groups", ())
             ),
             rate=float(raw.get("rate", 0.0)),
+            subjects=tuple(str(s) for s in raw.get("subjects", ())),
         )
 
 
@@ -352,6 +428,18 @@ class FailureSchedule:
                 injector.partition_for(event.time, groups, event.duration)
             elif event.kind == "loss-burst":
                 injector.loss_burst(event.time, event.rate, event.duration)
+            elif event.kind == "summary-corruption":
+                for index in event.nodes:
+                    injector.corrupt_summary_at(event.time, processes[index])
+            elif event.kind == "churn-storm":
+                targets = (
+                    [processes[index] for index in event.nodes]
+                    if event.nodes
+                    else list(processes)
+                )
+                injector.churn_storm(
+                    event.time, targets, event.rate, event.duration, event.subjects
+                )
 
     # -- serialization -----------------------------------------------------
 

@@ -18,10 +18,12 @@ forwarding queues.  This package asserts them continuously:
 from repro.testkit.invariants import (
     CausalTreeWellFormed,
     EventualDeliveryOrAttributedLoss,
+    FalsePositiveBounded,
     InvariantChecker,
     InvariantSuite,
     NoDuplicateDelivery,
     QueueBoundRespected,
+    RoutingStabilizes,
     ScopedDeliveryOnly,
     Violation,
     ZoneReconvergence,
@@ -39,11 +41,13 @@ from repro.testkit.shrink import ShrinkResult, shrink_scenario, write_repro
 __all__ = [
     "CausalTreeWellFormed",
     "EventualDeliveryOrAttributedLoss",
+    "FalsePositiveBounded",
     "FuzzScenario",
     "InvariantChecker",
     "InvariantSuite",
     "NoDuplicateDelivery",
     "QueueBoundRespected",
+    "RoutingStabilizes",
     "ScenarioResult",
     "ScopedDeliveryOnly",
     "ShrinkResult",

@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.testkit.fuzz --seeds 50 --quick
     python -m repro.testkit.fuzz --seeds 200 --quick --workers 4
+    python -m repro.testkit.fuzz --seeds 25 --quick --profile routing
     python -m repro.testkit.fuzz --replay fuzz-repros/repro-seed7.json
 
 Each seed deterministically samples one scenario (topology,
@@ -27,18 +28,25 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.testkit.invariants import default_checkers
-from repro.testkit.scenarios import FuzzScenario, run_scenario, sample_scenario
+from repro.testkit.scenarios import (
+    SCENARIO_PROFILES,
+    FuzzScenario,
+    run_scenario,
+    sample_scenario,
+)
 from repro.testkit.shrink import shrink_scenario, write_repro
 
 
-def run_fuzz_seed(*, seed: int, quick: bool = False) -> dict:
+def run_fuzz_seed(
+    *, seed: int, quick: bool = False, profile: str = "default"
+) -> dict:
     """One fuzz cell: run one seeded scenario, return a picklable view.
 
     Module-level (and returning only strings/bools) so the parallel
     executor's spawn workers can import and ship it; the live
     :class:`~repro.testkit.scenarios.ScenarioResult` stays worker-side.
     """
-    result = run_scenario(sample_scenario(seed, quick=quick))
+    result = run_scenario(sample_scenario(seed, quick=quick, profile=profile))
     return {
         "seed": seed,
         "ok": result.ok,
@@ -71,6 +79,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--quick",
         action="store_true",
         help="smaller populations/workloads (CI smoke budget)",
+    )
+    parser.add_argument(
+        "--profile",
+        choices=SCENARIO_PROFILES,
+        default="default",
+        help=(
+            "scenario sampling profile: 'routing' adds churn storms + "
+            "summary corruption under a stabilizing scheme"
+        ),
     )
     parser.add_argument(
         "--out",
@@ -135,7 +152,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     index=position,
                     label=f"seed={seed}",
                     runner=run_fuzz_seed,
-                    kwargs={"seed": seed, "quick": args.quick},
+                    kwargs={
+                        "seed": seed,
+                        "quick": args.quick,
+                        "profile": args.profile,
+                    },
                 )
                 for position, seed in enumerate(seeds)
             ],
@@ -148,7 +169,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     failed_seeds = []
     for position, seed in enumerate(seeds):
         if batch is None:
-            scenario = sample_scenario(seed, quick=args.quick)
+            scenario = sample_scenario(seed, quick=args.quick, profile=args.profile)
             result = run_scenario(scenario)
             ok = result.ok
             summary = result.summary_line()
@@ -172,7 +193,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if scenario is None:
             # Parallel path: re-run the failing seed in-process to
             # recover live Violation objects for the shrinker.
-            scenario = sample_scenario(seed, quick=args.quick)
+            scenario = sample_scenario(seed, quick=args.quick, profile=args.profile)
             result = run_scenario(scenario)
         shrunk = shrink_scenario(scenario, result.violations)
         path = write_repro(

@@ -26,10 +26,12 @@ from repro.obs.causal import CausalSink, ItemTree, _zone_contains
 __all__ = [
     "CausalTreeWellFormed",
     "EventualDeliveryOrAttributedLoss",
+    "FalsePositiveBounded",
     "InvariantChecker",
     "InvariantSuite",
     "NoDuplicateDelivery",
     "QueueBoundRespected",
+    "RoutingStabilizes",
     "ScopedDeliveryOnly",
     "Violation",
     "ZoneReconvergence",
@@ -222,7 +224,13 @@ class CausalTreeWellFormed(InvariantChecker):
 
     * no delivery precedes the item's publish time;
     * every delivered span's parent chain terminates at the publisher
-      (no orphan deliveries, no parent cycles);
+      (no orphan deliveries, no parent cycles) — or at a repair
+      recovery, which anchors the chain: the repairer held the item,
+      and its own delivery chain is checked independently.  Repair
+      edges cross the tree (a node that forwarded while unsubscribed
+      can later be repaired *by its own child* after adopting the
+      subject mid-flight), so structural loops through them are
+      temporal, not causal;
     * hop counts strictly increase along tree-forwarding segments
       (repair recoveries are excluded — they carry no tree depth).
     """
@@ -251,6 +259,8 @@ class CausalTreeWellFormed(InvariantChecker):
         seen: Set[str] = set()
         current = tree.spans[leaf]
         while current.parent is not None:
+            if current.via == "repair":
+                return  # anchored: the repairer's chain is checked on its own
             if current.node in seen:
                 self.record(
                     "parent chain contains a cycle",
@@ -425,6 +435,116 @@ class QueueBoundRespected(InvariantChecker):
                 )
 
 
+class RoutingStabilizes(InvariantChecker):
+    """Exported routing summaries reconverge to subscription ground truth.
+
+    The stabilization contract (docs/ROUTING.md): once failures end and
+    refresh rounds have had time to run, every alive pub/sub node's
+    exported summary attributes must be exactly what its scheme derives
+    from its true subscription list — arbitrary trace-injected
+    corruption and churn-races included.  Per node the check delegates
+    to ``scheme.summary_matches`` (a pure read), so subgroup placement
+    is compared as a union, not per-attribute.
+
+    A node whose summary was corrupted (``summary-corrupt`` event) is
+    exempt when its scheme does not stabilize — a flat Bloom scheme
+    makes no repair promise; wrap it in
+    :class:`~repro.pubsub.schemes.StabilizingScheme` to claim one.
+    Skipped entirely without a live system or while partitioned.
+    """
+
+    name = "routing-stabilizes"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._corrupted: Set[str] = set()
+
+    def emit(self, time: float, kind: str, fields: Mapping[str, Any]) -> None:
+        if kind == "summary-corrupt":
+            self._corrupted.add(str(fields.get("node", "")))
+
+    def clear(self) -> None:
+        super().clear()
+        self._corrupted.clear()
+
+    def finalize(self, causal: CausalSink, system: Optional[Any] = None) -> None:
+        if system is None:
+            return
+        network = getattr(system, "network", None)
+        if network is not None and getattr(network, "is_partitioned", False):
+            return
+        for node in getattr(system, "nodes", ()) or ():
+            scheme = getattr(node, "scheme", None)
+            if scheme is None or not hasattr(scheme, "summary_matches"):
+                continue
+            if getattr(node, "crashed", False):
+                continue
+            name = str(node.node_id)
+            if name in self._corrupted and not getattr(scheme, "stabilizes", False):
+                continue
+            leaf_key = getattr(node, "_leaf_key", name)
+            exported = {
+                attr: node.get_attribute(attr)
+                for attr in scheme.summary_attributes()
+            }
+            if not scheme.summary_matches(exported, node.subscriptions, leaf_key):
+                self.record(
+                    "exported summary diverges from subscription ground truth",
+                    node=name,
+                    corrupted=name in self._corrupted,
+                    subjects=tuple(s.subject for s in node.subscriptions),
+                )
+
+
+class FalsePositiveBounded(InvariantChecker):
+    """Leaf false positives stay a bounded fraction of arrivals.
+
+    A ``rejected`` event is a copy the summaries routed all the way to
+    a leaf whose authoritative final test then refused — pure wasted
+    work, the quantity the subgroup scheme exists to cut.  Some are
+    inherent to Bloom summaries; a run where they *dominate* deliveries
+    means the routing state is effectively garbage (e.g. unrepaired
+    corruption).  The bound is deliberately loose (default: rejects may
+    not exceed ``max_ratio`` = 0.9 of arrivals, checked only once
+    ``min_samples`` = 50 arrivals were seen) so honest Bloom collisions
+    never trip it.
+    """
+
+    name = "false-positive-bounded"
+
+    def __init__(self, max_ratio: float = 0.9, min_samples: int = 50) -> None:
+        super().__init__()
+        self.max_ratio = max_ratio
+        self.min_samples = min_samples
+        self._delivered = 0
+        self._rejected = 0
+
+    def emit(self, time: float, kind: str, fields: Mapping[str, Any]) -> None:
+        if kind == "deliver":
+            self._delivered += 1
+        elif kind == "rejected":
+            self._rejected += 1
+
+    def clear(self) -> None:
+        super().clear()
+        self._delivered = 0
+        self._rejected = 0
+
+    def finalize(self, causal: CausalSink, system: Optional[Any] = None) -> None:
+        arrivals = self._delivered + self._rejected
+        if arrivals < self.min_samples:
+            return
+        ratio = self._rejected / arrivals
+        if ratio > self.max_ratio:
+            self.record(
+                "false-positive arrivals dominate deliveries",
+                rejected=self._rejected,
+                delivered=self._delivered,
+                ratio=round(ratio, 4),
+                max_ratio=self.max_ratio,
+            )
+
+
 def default_checkers() -> List[InvariantChecker]:
     """One instance of every invariant in the catalogue."""
     return [
@@ -434,6 +554,8 @@ def default_checkers() -> List[InvariantChecker]:
         EventualDeliveryOrAttributedLoss(),
         ZoneReconvergence(),
         QueueBoundRespected(),
+        RoutingStabilizes(),
+        FalsePositiveBounded(),
     ]
 
 

@@ -22,6 +22,12 @@ from repro.core.config import QUEUE_STRATEGIES, MulticastConfig, NewsWireConfig
 from repro.core.errors import ConfigurationError
 from repro.experiments.common import drive_trace, expected_delivery_nodes
 from repro.news.deployment import NEWSWIRE_TRACE_KINDS, build_newswire
+from repro.pubsub.schemes import (
+    BloomScheme,
+    StabilizingScheme,
+    SubgroupScheme,
+    SubscriptionScheme,
+)
 from repro.sim.failures import FailureEvent, FailureInjector, FailureSchedule
 from repro.testkit.invariants import InvariantChecker, InvariantSuite, Violation
 from repro.workloads.populations import InterestModel, zipf_weights
@@ -29,11 +35,14 @@ from repro.workloads.scenarios import sample_subjects
 from repro.workloads.traces import Publication
 
 __all__ = [
+    "SCENARIO_PROFILES",
+    "SCENARIO_SCHEMES",
     "TESTKIT_TRACE_KINDS",
     "FuzzScenario",
     "ScenarioResult",
     "run_scenario",
     "sample_scenario",
+    "scheme_instance",
 ]
 
 #: The news-layer kinds plus node lifecycle milestones — the
@@ -44,6 +53,34 @@ TESTKIT_TRACE_KINDS = NEWSWIRE_TRACE_KINDS | {"node-crash", "node-recover"}
 #: Floor on fuzzed population size — below this the zone tree
 #: degenerates and scenarios stop exercising forwarding at all.
 MIN_NODES = 8
+
+#: Forwarding schemes a scenario may run under (docs/ROUTING.md).
+SCENARIO_SCHEMES = (
+    "bloom",
+    "subgroup",
+    "stabilizing-bloom",
+    "stabilizing-subgroup",
+)
+
+#: Sampling profiles: ``default`` is the classic crash/partition/loss
+#: mix; ``routing`` adds interest churn storms plus summary corruption
+#: under a stabilizing scheme, targeting ``routing-stabilizes``.
+SCENARIO_PROFILES = ("default", "routing")
+
+
+def scheme_instance(name: str, config: NewsWireConfig) -> SubscriptionScheme:
+    """Build the named forwarding scheme against ``config``'s Bloom."""
+    if name == "bloom":
+        return BloomScheme(config.bloom)
+    if name == "subgroup":
+        return SubgroupScheme(config.bloom)
+    if name == "stabilizing-bloom":
+        return StabilizingScheme(BloomScheme(config.bloom))
+    if name == "stabilizing-subgroup":
+        return StabilizingScheme(SubgroupScheme(config.bloom))
+    raise ConfigurationError(
+        f"unknown scheme {name!r}; choose from {SCENARIO_SCHEMES}"
+    )
 
 
 @dataclass(frozen=True)
@@ -67,8 +104,14 @@ class FuzzScenario:
     branching_factor: int = 8
     #: 2 turns on redundant-representative forwarding (§9 duplicates).
     send_to_representatives: int = 1
+    #: Forwarding scheme (one of :data:`SCENARIO_SCHEMES`).
+    scheme: str = "bloom"
 
     def validate(self) -> "FuzzScenario":
+        if self.scheme not in SCENARIO_SCHEMES:
+            raise ConfigurationError(
+                f"unknown scheme {self.scheme!r}; choose from {SCENARIO_SCHEMES}"
+            )
         if self.num_nodes < MIN_NODES:
             raise ConfigurationError(
                 f"num_nodes must be >= {MIN_NODES}, got {self.num_nodes}"
@@ -128,6 +171,7 @@ class FuzzScenario:
             "drain_time": self.drain_time,
             "branching_factor": self.branching_factor,
             "send_to_representatives": self.send_to_representatives,
+            "scheme": self.scheme,
         }
 
     @classmethod
@@ -156,6 +200,7 @@ class FuzzScenario:
             drain_time=float(raw.get("drain_time", 45.0)),
             branching_factor=int(raw.get("branching_factor", 8)),
             send_to_representatives=int(raw.get("send_to_representatives", 1)),
+            scheme=str(raw.get("scheme", "bloom")),
         ).validate()
 
     def to_json(self) -> str:
@@ -174,12 +219,22 @@ class FuzzScenario:
         return cls.from_dict(raw)
 
 
-def sample_scenario(seed: int, quick: bool = False) -> FuzzScenario:
+def sample_scenario(
+    seed: int, quick: bool = False, profile: str = "default"
+) -> FuzzScenario:
     """Draw one scenario from ``seed`` — same seed, same scenario.
 
     ``quick`` bounds the population and workload so a 25–50 seed sweep
-    fits a CI smoke budget; the full mode samples wider.
+    fits a CI smoke budget; the full mode samples wider.  The
+    ``routing`` profile layers a churn storm and summary corruption on
+    top of the base draw, under a stabilizing scheme (new draws happen
+    strictly after the base ones, so a seed's default-profile scenario
+    is unchanged by the profile machinery).
     """
+    if profile not in SCENARIO_PROFILES:
+        raise ConfigurationError(
+            f"unknown profile {profile!r}; choose from {SCENARIO_PROFILES}"
+        )
     rng = random.Random(f"newswire-fuzz-{seed}")
     num_nodes = rng.randint(12, 32) if quick else rng.randint(16, 64)
     subjects = tuple(sample_subjects(rng))
@@ -245,6 +300,39 @@ def sample_scenario(seed: int, quick: bool = False) -> FuzzScenario:
                     rate=round(rng.uniform(0.05, 0.3), 3),
                 )
             )
+    queue_strategy = rng.choice(QUEUE_STRATEGIES)
+    max_send_rate = rng.choice((100.0, 250.0, 500.0))
+    loss_rate = rng.choice((0.0, 0.0, 0.01, 0.03))
+    branching_factor = rng.choice((4, 8, 64))
+    send_to_representatives = rng.choice((1, 1, 2))
+
+    # Profile extensions draw *after* every base field so a seed's
+    # default-profile scenario is bit-identical across profiles.
+    scheme = "bloom"
+    if profile == "routing":
+        scheme = rng.choice(("stabilizing-bloom", "stabilizing-subgroup"))
+        storm_start = round(rng.uniform(settle * 0.5, settle), 3)
+        storm_duration = round(rng.uniform(6.0, 14.0), 3)
+        events.append(
+            FailureEvent(
+                "churn-storm",
+                storm_start,
+                duration=storm_duration,
+                rate=round(rng.uniform(0.5, 2.0), 3),
+                subjects=subjects,
+            )
+        )
+        victims = tuple(
+            sorted(
+                rng.sample(
+                    range(num_nodes), rng.randint(1, max(2, num_nodes // 4))
+                )
+            )
+        )
+        corrupt_at = round(storm_start + rng.uniform(0.0, storm_duration), 3)
+        events.append(
+            FailureEvent("summary-corruption", corrupt_at, nodes=victims)
+        )
     schedule = FailureSchedule(tuple(sorted(events, key=lambda e: (e.time, e.kind))))
 
     return FuzzScenario(
@@ -255,12 +343,13 @@ def sample_scenario(seed: int, quick: bool = False) -> FuzzScenario:
         zipf_exponent=zipf_exponent,
         publications=tuple(publications),
         schedule=schedule,
-        queue_strategy=rng.choice(QUEUE_STRATEGIES),
-        max_send_rate=rng.choice((100.0, 250.0, 500.0)),
-        loss_rate=rng.choice((0.0, 0.0, 0.01, 0.03)),
+        queue_strategy=queue_strategy,
+        max_send_rate=max_send_rate,
+        loss_rate=loss_rate,
         drain_time=45.0 if quick else 60.0,
-        branching_factor=rng.choice((4, 8, 64)),
-        send_to_representatives=rng.choice((1, 1, 2)),
+        branching_factor=branching_factor,
+        send_to_representatives=send_to_representatives,
+        scheme=scheme,
     ).validate()
 
 
@@ -319,6 +408,7 @@ def run_scenario(
     system = build_newswire(
         scenario.num_nodes,
         config,
+        scheme=scheme_instance(scenario.scheme, config),
         publisher_names=(scenario.publisher,),
         publisher_rate=50.0,
         subscriptions_for=interests.subscriptions_for,
@@ -334,10 +424,13 @@ def run_scenario(
     system.sim.run_until(scenario.end_time)
 
     expected_total = 0
-    if drive_stats.flow_controlled == 0:
+    churned = any(event.kind == "churn-storm" for event in scenario.schedule)
+    if drive_stats.flow_controlled == 0 and not churned:
         # Serial numbering matches trace order only when nothing was
-        # flow-controlled; otherwise skip expectations (the online
-        # invariants still checked every event).
+        # flow-controlled, and the initial interest assignment predicts
+        # deliveries only when no churn rewired it mid-run; otherwise
+        # skip expectations (the online invariants still checked every
+        # event, and routing-stabilizes checks the end state).
         for item, nodes in expected_delivery_nodes(
             interests, system, trace, scenario.publisher
         ).items():

@@ -1,5 +1,10 @@
 """Synthetic workloads: publication traces and subscriber populations."""
 
+from repro.workloads.churn import (
+    Resubscription,
+    churn_storm_schedule,
+    resubscription_trace,
+)
 from repro.workloads.populations import InterestModel, zipf_weights
 from repro.workloads.scenarios import (
     Scenario,
@@ -24,15 +29,18 @@ __all__ = [
     "DAY",
     "InterestModel",
     "Publication",
+    "Resubscription",
     "Scenario",
     "TECH_CATEGORIES",
     "TECH_PUBLISHERS",
     "WIRE_CATEGORIES",
     "WIRE_PUBLISHERS",
     "breaking_news_scenario",
+    "churn_storm_schedule",
     "diurnal_trace",
     "flash_crowd_trace",
     "poisson_trace",
+    "resubscription_trace",
     "subjects_for",
     "tech_news_scenario",
     "wire_news_scenario",

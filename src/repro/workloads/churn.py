@@ -1,0 +1,115 @@
+"""Re-subscription churn: when subscribers change their minds.
+
+The tech-news population is not static — readers drop a beat and pick
+up another as stories move (the interest drift behind §7's richer
+subscription model).  This module generates that churn two ways:
+
+* :func:`resubscription_trace` — an explicit, deterministic list of
+  :class:`Resubscription` events an experiment applies itself (E12
+  uses this to drive identical churn against every scheme under
+  comparison);
+* :func:`churn_storm_schedule` — the same process packaged as
+  serializable ``churn-storm`` / ``summary-corruption``
+  :class:`~repro.sim.failures.FailureEvent`\\ s for the fuzzer and
+  replay files.
+
+Both draw from a caller-supplied :class:`random.Random`, never a
+global, so traces are reproducible from a seed alone.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.errors import ConfigurationError
+from repro.sim.failures import FailureEvent, FailureSchedule
+
+
+@dataclass(frozen=True)
+class Resubscription:
+    """One interest swap: node ``node_index`` drops its subscription on
+    ``drop`` (if still held) and adopts ``adopt`` at ``time``."""
+
+    time: float
+    node_index: int
+    drop: Optional[str]
+    adopt: Optional[str]
+
+
+def resubscription_trace(
+    rng: random.Random,
+    num_nodes: int,
+    subjects: Sequence[str],
+    rate: float,
+    duration: float,
+    start: float = 0.0,
+) -> list[Resubscription]:
+    """Poisson re-subscription churn at ``rate`` swaps/second overall.
+
+    Each event picks a uniform node and a uniform (drop, adopt) subject
+    pair from ``subjects``; ``drop`` is a *candidate* — the applier
+    skips it when the node no longer holds that subject, which keeps
+    the trace applicable to any population assignment.
+    """
+    if rate <= 0:
+        raise ConfigurationError("churn rate must be positive")
+    if duration <= 0:
+        raise ConfigurationError("churn duration must be positive")
+    if num_nodes <= 0:
+        raise ConfigurationError("churn needs at least one node")
+    if not subjects:
+        raise ConfigurationError("churn needs a non-empty subject pool")
+    pool = list(subjects)
+    out: list[Resubscription] = []
+    now = start
+    while True:
+        now += rng.expovariate(rate)
+        if now >= start + duration:
+            return out
+        out.append(
+            Resubscription(
+                time=now,
+                node_index=rng.randrange(num_nodes),
+                drop=rng.choice(pool),
+                adopt=rng.choice(pool),
+            )
+        )
+
+
+def churn_storm_schedule(
+    subjects: Sequence[str],
+    rate: float,
+    duration: float,
+    start: float = 0.0,
+    corrupt_nodes: Sequence[int] = (),
+    corrupt_time: Optional[float] = None,
+) -> FailureSchedule:
+    """Package churn (plus optional summary corruption) as a
+    :class:`FailureSchedule`.
+
+    The storm targets every node (empty ``nodes``); with
+    ``corrupt_nodes`` a ``summary-corruption`` event fires at
+    ``corrupt_time`` (default: mid-storm), the combined stress the
+    ``routing-stabilizes`` invariant must survive.
+    """
+    events = [
+        FailureEvent(
+            kind="churn-storm",
+            time=start,
+            duration=duration,
+            rate=rate,
+            subjects=tuple(subjects),
+        )
+    ]
+    if corrupt_nodes:
+        when = corrupt_time if corrupt_time is not None else start + duration / 2
+        events.append(
+            FailureEvent(
+                kind="summary-corruption",
+                time=when,
+                nodes=tuple(corrupt_nodes),
+            )
+        )
+    return FailureSchedule(events=tuple(events))

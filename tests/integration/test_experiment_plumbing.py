@@ -133,8 +133,8 @@ class TestBuildSystem:
 
 
 class TestRunnerRegistry:
-    def test_registry_covers_e1_to_e11(self):
-        assert set(experiment_names()) == {f"e{i}" for i in range(1, 12)}
+    def test_registry_covers_e1_to_e12(self):
+        assert set(experiment_names()) == {f"e{i}" for i in range(1, 13)}
 
     def test_specs_have_claims_and_valid_quick_params(self):
         for spec in all_specs():

@@ -16,6 +16,7 @@ the E2 fingerprints with the full invariant suite attached.)
 from repro.experiments.e2_latency import run_e2
 from repro.experiments.e5_bloom import run_e5_analytic, run_e5_system
 from repro.experiments.e9_queues import run_e9
+from repro.experiments.e12_routing import run_e12
 
 
 def fingerprint(result):
@@ -108,6 +109,63 @@ class TestE5Golden:
             ("bloom", 256, 124, 287, 0, 96, 0.0),
             ("mask(§7)", 6, 124, 287, 0, 96, 0.0),
         ]
+
+
+def e12_fingerprint(result):
+    return [
+        (r.scheme, r.forwards, r.filtered, r.leaf_rejections, r.deliveries,
+         r.duplicates, r.mean_latency, r.resubscriptions, r.corruptions,
+         r.repairs, r.diverged, r.wasted_forward_ratio)
+        for r in result.rows
+    ]
+
+
+E12_SMALL_KWARGS = dict(num_nodes=48, churn_rate=2.0, churn_duration=6.0, seed=0)
+
+E12_SMALL_GOLDEN = [
+    ("bloom", 382, 1906, 34, 194, 0, 0.6328, 14, 0, 0, 0, 0.089),
+    ("subgroup", 360, 1738, 34, 194, 0, 0.6192, 14, 0, 0, 0, 0.0944),
+    ("stabilizing-bloom", 376, 1912, 30, 194, 0, 0.5154, 13, 12, 11, 0, 0.0798),
+    ("stabilizing-subgroup", 359, 1788, 32, 195, 0, 0.8717, 16, 12, 47, 0, 0.0891),
+]
+
+
+class TestE12Golden:
+    """Routing schemes under churn + corruption, two sizes.
+
+    Beyond byte-identity, these pin the paper-facing claims: the
+    subgroup scheme forwards strictly less than the flat Bloom baseline
+    at equal redundancy with identical delivery counts (no false
+    negatives traded away), and every stabilizing run ends with zero
+    diverged summaries despite the injected corruption.
+    """
+
+    def _claims(self, rows):
+        by = {r.scheme: r for r in rows}
+        assert by["subgroup"].forwards < by["bloom"].forwards
+        assert by["subgroup"].filtered < by["bloom"].filtered
+        assert by["subgroup"].deliveries == by["bloom"].deliveries
+        for r in rows:
+            if r.scheme.startswith("stabilizing"):
+                assert r.corruptions > 0 and r.repairs > 0
+            assert r.diverged == 0
+
+    def test_small_run_byte_identical(self):
+        result = run_e12(**E12_SMALL_KWARGS)
+        assert e12_fingerprint(result) == E12_SMALL_GOLDEN
+        self._claims(result.rows)
+
+    def test_medium_run_byte_identical(self):
+        result = run_e12(num_nodes=72, churn_rate=3.0, churn_duration=8.0, seed=5)
+        assert e12_fingerprint(result) == [
+            ("bloom", 690, 2282, 47, 290, 0, 0.6301, 21, 0, 0, 0, 0.0681),
+            ("subgroup", 633, 2066, 47, 290, 0, 0.7305, 21, 0, 0, 0, 0.0742),
+            ("stabilizing-bloom", 686, 2288, 45, 288, 0, 0.4444, 19, 18, 18, 0,
+             0.0656),
+            ("stabilizing-subgroup", 633, 2075, 45, 290, 0, 0.6048, 18, 18, 65,
+             0, 0.0711),
+        ]
+        self._claims(result.rows)
 
 
 class TestE9Golden:

@@ -1,0 +1,164 @@
+"""Interest churn: re-subscription races and bookkeeping.
+
+A subscriber swapping subjects while an item is in flight is the
+nastiest routing race we model: the summary refresh chases the item up
+and down the tree.  Whatever lands, the delivery invariants must hold
+— no duplicates, no out-of-scope copies — and the node's exported
+summary must equal its post-swap ground truth.
+"""
+
+import random
+from types import SimpleNamespace
+
+from repro.core.config import NewsWireConfig
+from repro.obs.sinks import MemorySink
+from repro.pubsub.engine import build_pubsub
+from repro.pubsub.subscription import Subscription, subjects_key
+from repro.testkit.invariants import InvariantSuite
+
+OLD = "news/old"
+NEW = "news/new"
+SUBJECTS = [f"news/cat{i}" for i in range(8)]
+
+
+def build(num_nodes=48, seed=17, scheme=None):
+    suite = InvariantSuite()
+
+    def subscriptions_for(index):
+        if index == 25:
+            return (Subscription(OLD),)
+        return (Subscription(SUBJECTS[index % len(SUBJECTS)]),)
+
+    deployment = build_pubsub(
+        num_nodes,
+        NewsWireConfig(branching_factor=6),
+        scheme=scheme,
+        subscriptions_for=subscriptions_for,
+        seed=seed,
+        sinks=[MemorySink(), suite],
+    )
+    return deployment, suite
+
+
+def _system_view(deployment):
+    """RoutingStabilizes walks ``system.nodes``; adapt the pub/sub
+    deployment's agent list to that shape."""
+    return SimpleNamespace(nodes=deployment.agents, network=deployment.network)
+
+
+def finalize_clean(deployment, suite):
+    violations = suite.finalize(_system_view(deployment))
+    assert violations == [], [str(v) for v in violations]
+
+
+class TestResubscribeMidFlight:
+    def test_swap_during_delivery_keeps_invariants(self):
+        deployment, suite = build()
+        deployment.run_rounds(2)
+        target = deployment.agents[25]
+        deployment.agents[0].publish(OLD, {"h": 1}, publisher="news")
+        # Swap interests while the copy is somewhere between the
+        # publisher and the leaf.
+        deployment.sim.call_at(
+            deployment.sim.now + 0.2,
+            target.resubscribe,
+            Subscription(OLD),
+            Subscription(NEW),
+        )
+        deployment.sim.run_for(10.0)
+        assert deployment.trace.count("resubscribe") == 1
+        # Regardless of whether the racing copy was delivered or
+        # rejected by the post-swap leaf test, nothing duplicated and
+        # the exported summary equals the new ground truth.
+        assert deployment.trace.count("deliver") <= 1
+        finalize_clean(deployment, suite)
+        assert subjects_key(target.subscriptions) == (NEW,)
+
+    def test_swap_redirects_traffic_after_propagation(self):
+        deployment, suite = build()
+        deployment.run_rounds(2)
+        target = deployment.agents[25]
+        target.resubscribe(Subscription(OLD), Subscription(NEW))
+        deployment.run_rounds(10)  # let the swapped bits propagate
+        deployment.agents[0].publish(NEW, {"h": 2}, publisher="news")
+        deployment.sim.run_for(10.0)
+        delivered = [e["node"] for e in deployment.trace.events("deliver")]
+        assert delivered == [str(target.node_id)]
+        marker = deployment.trace.count("deliver")
+        deployment.agents[0].publish(OLD, {"h": 3}, publisher="news")
+        deployment.sim.run_for(10.0)
+        assert deployment.trace.count("deliver") == marker
+        finalize_clean(deployment, suite)
+
+    def test_swap_is_atomic_one_export_one_event(self):
+        deployment, suite = build(num_nodes=12)
+        deployment.run_rounds(1)
+        target = deployment.agents[25 % 12]
+        before_sub = deployment.trace.count("subscribe")
+        before_unsub = deployment.trace.count("unsubscribe")
+        target.resubscribe(target.subscriptions[0], Subscription(NEW))
+        assert deployment.trace.count("resubscribe") == 1
+        assert deployment.trace.count("subscribe") == before_sub
+        assert deployment.trace.count("unsubscribe") == before_unsub
+
+
+class TestBookkeeping:
+    def test_unsubscribe_absent_subscription_is_noop(self):
+        deployment, _ = build(num_nodes=8)
+        node = deployment.agents[3]
+        before = node.subscriptions
+        node.unsubscribe(Subscription("never/subscribed"))
+        assert node.subscriptions == before
+        assert deployment.trace.count("unsubscribe") == 0
+
+    def test_resubscribe_none_old_just_adopts(self):
+        deployment, _ = build(num_nodes=8)
+        node = deployment.agents[3]
+        node.resubscribe(None, Subscription(NEW))
+        assert NEW in {s.subject for s in node.subscriptions}
+
+    def test_resubscribe_none_new_just_drops(self):
+        deployment, _ = build(num_nodes=8)
+        node = deployment.agents[3]
+        node.resubscribe(node.subscriptions[0], None)
+        assert node.subscriptions == ()
+
+    def test_resubscribe_noop_records_nothing(self):
+        deployment, _ = build(num_nodes=8)
+        node = deployment.agents[3]
+        node.resubscribe(Subscription("never/subscribed"), node.subscriptions[0])
+        assert deployment.trace.count("resubscribe") == 0
+
+    def test_rotate_with_empty_pool_only_drops(self):
+        deployment, _ = build(num_nodes=8)
+        node = deployment.agents[3]
+        node.rotate_subscription(random.Random(1), [])
+        assert node.subscriptions == ()
+
+    def test_subjects_key_sorts_and_dedupes(self):
+        subs = (
+            Subscription("b/x"),
+            Subscription("a/y"),
+            Subscription("b/x"),
+        )
+        assert subjects_key(subs) == ("a/y", "b/x")
+
+
+class TestChurnStorm:
+    def test_storm_keeps_delivery_invariants(self):
+        deployment, suite = build(seed=23)
+        deployment.run_rounds(2)
+        injector = deployment.failures
+        injector.churn_storm(
+            deployment.sim.now + 1.0,
+            deployment.agents,
+            rate=3.0,
+            duration=6.0,
+            subjects=SUBJECTS,
+        )
+        for k, subject in enumerate(SUBJECTS):
+            deployment.agents[0].publish(subject, {"h": k}, publisher="news")
+        deployment.sim.run_for(25.0)
+        assert deployment.trace.count("resubscribe") > 0
+        assert deployment.trace.count("deliver") > 0
+        finalize_clean(deployment, suite)

@@ -1,0 +1,254 @@
+"""Property tests for the forwarding schemes (hypothesis-style, seeded).
+
+Two load-bearing guarantees, checked over many randomly generated
+populations rather than hand-picked examples:
+
+* **zero false negatives** — a zone containing a true subscriber must
+  always pass the zone test, for every scheme, under real AQL
+  aggregation of the leaf rows;
+* **subgroup tightness** — the union of SubgroupScheme's per-subgroup
+  aggregates equals the flat Bloom aggregate (so its test is a strict
+  refinement: anything it forwards, the flat scheme would too).
+
+Generators draw from seeded :class:`random.Random` streams only, so a
+failure reproduces from the printed seed.
+"""
+
+import random
+
+import pytest
+
+from repro.core.config import BloomConfig
+from repro.astrolabe.aql import AqlProgram
+from repro.pubsub.schemes import (
+    BloomScheme,
+    PrefixBloomScheme,
+    StabilizingScheme,
+    SubgroupScheme,
+)
+from repro.pubsub.subscription import Subscription
+
+SEEDS = range(12)
+
+PUBLISHERS = ("reuters", "nytimes", "slashdot")
+
+
+def _universe(rng: random.Random) -> list[str]:
+    count = rng.randint(6, 40)
+    return [
+        f"{rng.choice(PUBLISHERS)}/cat{rng.randrange(count)}"
+        for _ in range(count)
+    ]
+
+
+def _population(rng: random.Random, subjects: list[str]) -> list[list[Subscription]]:
+    members = rng.randint(2, 12)
+    return [
+        [
+            Subscription(rng.choice(subjects))
+            for _ in range(rng.randint(0, 4))
+        ]
+        for _ in range(members)
+    ]
+
+
+def _schemes(rng: random.Random):
+    bloom = BloomConfig(
+        num_bits=rng.choice((64, 128, 512)),
+        num_hashes=rng.choice((1, 2)),
+    )
+    return [
+        BloomScheme(bloom),
+        PrefixBloomScheme(bloom),
+        SubgroupScheme(bloom, num_subgroups=rng.choice((2, 3, 4))),
+        StabilizingScheme(BloomScheme(bloom)),
+        StabilizingScheme(SubgroupScheme(bloom)),
+    ]
+
+
+def _aggregate(scheme, leaf_rows: list[dict]) -> dict:
+    """Aggregate leaf rows exactly as a zone does: via the scheme's
+    own AQL program."""
+    program = AqlProgram(scheme.aggregation_source())
+    return program.evaluate(
+        [{**row, "publishers": ()} for row in leaf_rows]
+    )
+
+
+class TestZeroFalseNegatives:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_zone_with_true_subscriber_always_passes(self, seed):
+        rng = random.Random(f"scheme-props-{seed}")
+        subjects = _universe(rng)
+        population = _population(rng, subjects)
+        for scheme in _schemes(rng):
+            leaf_rows = [
+                scheme.leaf_attributes(subs, leaf_key=f"n{i}")
+                for i, subs in enumerate(population)
+            ]
+            zone_row = _aggregate(scheme, leaf_rows)
+            subscribed = {
+                s.subject for subs in population for s in subs
+            }
+            for subject in sorted(subscribed):
+                hints = scheme.hints_for(subject, subject.split("/")[0])
+                assert scheme.zone_may_match(zone_row, hints), (
+                    f"seed={seed} scheme={type(scheme).__name__} "
+                    f"false negative on {subject!r}"
+                )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_leaf_row_matches_own_subjects(self, seed):
+        rng = random.Random(f"scheme-props-leaf-{seed}")
+        subjects = _universe(rng)
+        for scheme in _schemes(rng):
+            subs = [Subscription(rng.choice(subjects)) for _ in range(3)]
+            row = scheme.leaf_attributes(subs, leaf_key="leaf")
+            for s in subs:
+                hints = scheme.hints_for(s.subject, s.subject.split("/")[0])
+                assert scheme.zone_may_match(row, hints)
+
+
+class TestSubgroupTightness:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_subgroup_union_equals_flat_aggregate(self, seed):
+        rng = random.Random(f"subgroup-union-{seed}")
+        subjects = _universe(rng)
+        population = _population(rng, subjects)
+        bloom = BloomConfig(num_bits=128, num_hashes=2)
+        flat, grouped = BloomScheme(bloom), SubgroupScheme(bloom)
+        flat_rows = [
+            flat.leaf_attributes(subs, leaf_key=f"n{i}")
+            for i, subs in enumerate(population)
+        ]
+        grouped_rows = [
+            grouped.leaf_attributes(subs, leaf_key=f"n{i}")
+            for i, subs in enumerate(population)
+        ]
+        flat_zone = _aggregate(flat, flat_rows)
+        grouped_zone = _aggregate(grouped, grouped_rows)
+        union = 0
+        for name in grouped.summary_attributes():
+            union |= grouped_zone[name]
+        assert union == flat_zone["subs"]
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_subgroup_test_is_a_refinement_of_flat(self, seed):
+        """Whatever the subgroup test forwards, the flat test would
+        forward too — subgrouping can only remove false positives."""
+        rng = random.Random(f"subgroup-refine-{seed}")
+        subjects = _universe(rng)
+        population = _population(rng, subjects)
+        bloom = BloomConfig(num_bits=64, num_hashes=2)
+        flat, grouped = BloomScheme(bloom), SubgroupScheme(bloom)
+        flat_zone = _aggregate(
+            flat,
+            [
+                flat.leaf_attributes(subs, leaf_key=f"n{i}")
+                for i, subs in enumerate(population)
+            ],
+        )
+        grouped_zone = _aggregate(
+            grouped,
+            [
+                grouped.leaf_attributes(subs, leaf_key=f"n{i}")
+                for i, subs in enumerate(population)
+            ],
+        )
+        # Probe with arbitrary subjects, subscribed or not.
+        for _ in range(40):
+            probe = f"{rng.choice(PUBLISHERS)}/probe{rng.randrange(200)}"
+            hints = flat.hints_for(probe, probe.split("/")[0])
+            if grouped.zone_may_match(grouped_zone, hints):
+                assert flat.zone_may_match(flat_zone, hints)
+
+    def test_recluster_preserves_union(self):
+        """Drift past the threshold forces a full re-cluster; the
+        exported unions (after every member re-exports) still cover
+        exactly the membership's interests."""
+        bloom = BloomConfig(num_bits=128, num_hashes=2)
+        scheme = SubgroupScheme(bloom, num_subgroups=2, drift_threshold=0.1)
+        rng = random.Random("recluster")
+        subjects = [f"reuters/cat{i}" for i in range(20)]
+        members = {
+            f"n{i}": [Subscription(rng.choice(subjects)) for _ in range(2)]
+            for i in range(8)
+        }
+        for key, subs in sorted(members.items()):
+            scheme.leaf_attributes(subs, leaf_key=key)
+        # Churn every member onto new interests to force drift.
+        for key in sorted(members):
+            members[key] = [Subscription(rng.choice(subjects)) for _ in range(2)]
+            scheme.leaf_attributes(members[key], leaf_key=key)
+        assert scheme.stats.reclusters >= 1
+        rows = [
+            scheme.leaf_attributes(subs, leaf_key=key)
+            for key, subs in sorted(members.items())
+        ]
+        zone = _aggregate(scheme, rows)
+        union = 0
+        for name in scheme.summary_attributes():
+            union |= zone[name]
+        flat = BloomScheme(bloom)
+        expect = _aggregate(
+            flat,
+            [flat.leaf_attributes(subs) for subs in members.values()],
+        )
+        assert union == expect["subs"]
+
+
+class TestSummaryMatches:
+    def test_matches_own_export(self):
+        for seed in SEEDS:
+            rng = random.Random(f"summary-{seed}")
+            subjects = _universe(rng)
+            for scheme in _schemes(rng):
+                subs = [Subscription(rng.choice(subjects)) for _ in range(2)]
+                exported = scheme.leaf_attributes(subs, leaf_key="k")
+                assert scheme.summary_matches(exported, subs, "k")
+
+    def test_rejects_corrupted_export(self):
+        rng = random.Random("summary-corrupt")
+        subjects = _universe(rng)
+        subs = [Subscription(rng.choice(subjects)) for _ in range(3)]
+        for scheme in _schemes(rng):
+            exported = dict(scheme.leaf_attributes(subs, leaf_key="k"))
+            name = scheme.summary_attributes()[0]
+            exported[name] = 0 if exported[name] else (1 << 7)
+            assert not scheme.summary_matches(exported, subs, "k")
+
+    def test_subgroup_match_survives_foreign_recluster(self):
+        """A re-cluster triggered by *other* members may reassign this
+        member before its next export; summary_matches compares unions,
+        so the stale placement is still ground truth."""
+        bloom = BloomConfig(num_bits=128, num_hashes=1)
+        scheme = SubgroupScheme(bloom, num_subgroups=2, drift_threshold=0.1)
+        subs = [Subscription("reuters/cat1")]
+        exported = scheme.leaf_attributes(subs, leaf_key="victim")
+        scheme._recluster()
+        assert scheme.summary_matches(exported, subs, "victim")
+
+
+class TestConstruction:
+    def test_bloom_default_config_is_per_instance(self):
+        one, two = BloomScheme(), BloomScheme()
+        assert one.config is not two.config
+
+    def test_subgroup_rejects_bad_parameters(self):
+        from repro.core.errors import SubscriptionError
+
+        with pytest.raises(SubscriptionError):
+            SubgroupScheme(num_subgroups=1)
+        with pytest.raises(SubscriptionError):
+            SubgroupScheme(drift_threshold=0.0)
+        with pytest.raises(SubscriptionError):
+            StabilizingScheme(BloomScheme(), refresh_interval=0.0)
+
+    def test_stabilizing_wrapper_delegates(self):
+        inner = SubgroupScheme(BloomConfig(num_bits=64), num_subgroups=3)
+        wrapped = StabilizingScheme(inner, refresh_interval=2.5)
+        assert wrapped.stabilizes
+        assert wrapped.refresh_interval == 2.5
+        assert wrapped.summary_attributes() == inner.summary_attributes()
+        assert wrapped.aggregation_source() == inner.aggregation_source()
+        assert wrapped.config is inner.config

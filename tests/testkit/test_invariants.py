@@ -288,7 +288,7 @@ class TestQueueBoundRespected:
 class TestInvariantSuite:
     def test_catalogue_names_unique(self):
         names = [checker.name for checker in default_checkers()]
-        assert len(names) == len(set(names)) == 6
+        assert len(names) == len(set(names)) == 8
 
     def test_suite_fans_out_and_aggregates(self):
         suite = InvariantSuite()

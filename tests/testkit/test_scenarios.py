@@ -39,7 +39,10 @@ class TestFailureEvent:
             FailureEvent("meteor", 1.0)
 
     def test_kinds_catalogue(self):
-        assert set(FAILURE_KINDS) == {"crash", "partition", "loss-burst"}
+        assert set(FAILURE_KINDS) == {
+            "crash", "partition", "loss-burst",
+            "summary-corruption", "churn-storm",
+        }
 
 
 class TestFailureSchedule:

@@ -9,10 +9,16 @@ offer ``--check-invariants`` without a determinism caveat.
 """
 
 from repro.experiments.e2_latency import run_e2
+from repro.experiments.e12_routing import run_e12
 from repro.obs.sinks import MemorySink
 from repro.testkit.invariants import InvariantSuite
 
-from tests.integration.test_golden_fingerprints import fingerprint
+from tests.integration.test_golden_fingerprints import (
+    E12_SMALL_GOLDEN,
+    E12_SMALL_KWARGS,
+    e12_fingerprint,
+    fingerprint,
+)
 
 E2_SMALL_KWARGS = dict(
     sizes=(48,),
@@ -52,3 +58,15 @@ class TestSuiteTransparency:
         observed = run_e2(sinks=[MemorySink(), InvariantSuite()],
                           **E2_SMALL_KWARGS)
         assert fingerprint(baseline) == fingerprint(observed)
+
+    def test_e12_fingerprint_identical_with_suite_attached(self):
+        # The PR-9 checkers (routing-stabilizes, false-positive-bounded)
+        # joined the catalogue; prove the grown suite is still a pure
+        # observer on the experiment that stresses them hardest —
+        # churn, corruption, and repair rounds all under observation.
+        suite = InvariantSuite()
+        result = run_e12(sinks=[suite], **E12_SMALL_KWARGS)
+        assert e12_fingerprint(result) == E12_SMALL_GOLDEN
+        assert suite.causal.events_seen > 0
+        assert suite.retained_events == 0
+        assert suite.finalize(None) == []
