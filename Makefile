@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-quick lint fuzz fuzz-routing bench bench-pytest bench-sweep sweep experiments experiments-quick report profile examples live clean
+.PHONY: install test test-fast test-quick lint fuzz fuzz-routing bench bench-pytest bench-scale bench-sweep sweep experiments experiments-quick report profile examples live clean
 
 install:
 	pip install -e '.[test]'
@@ -47,6 +47,12 @@ bench:
 
 bench-pytest:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Mega-scale columnar benchmark: a 100k-node E2 latency-scaling point
+# on the columnar backend (docs/SCALE.md) + the guard/tolerance gate.
+bench-scale:
+	PYTHONPATH=src $(PYTHON) -m repro.experiments.bench_scale -o BENCH_scale.json
+	$(PYTHON) benchmarks/check_bench.py --scale
 
 # Serial-vs-parallel wall time on the quick sweeps -> BENCH_sweep.json
 # (speedup scales with physical cores; docs/PARALLEL.md).

@@ -36,6 +36,13 @@ TOLERANCES = {
 #: Fallback for workloads added after this gate was written.
 DEFAULT_TOLERANCE = 1.10
 
+#: Per-metric tolerances for the ``--scale`` gate (BENCH_scale.json).
+#: Guards are exact — same seed must mean the same delivery sets on
+#: any machine; the throughput/footprint bounds are deliberately loose
+#: because CI machine classes vary widely.
+SCALE_MIN_NODES_PER_SEC_RATIO = 0.25   # current may be 4x slower
+SCALE_MAX_PEAK_RSS_RATIO = 2.0         # current may use 2x the memory
+
 
 def check(current_path: Path, baseline_path: Path) -> int:
     current_doc = json.loads(current_path.read_text(encoding="utf-8"))
@@ -80,19 +87,107 @@ def check(current_path: Path, baseline_path: Path) -> int:
     return 0
 
 
+def _scale_key(entry: dict) -> tuple:
+    return (
+        entry.get("nodes"),
+        entry.get("seed"),
+        entry.get("items"),
+        bool(entry.get("mesoscale")),
+    )
+
+
+def check_scale(current_path: Path, baseline_path: Path) -> int:
+    """Gate BENCH_scale.json (the columnar mega-scale benchmark).
+
+    Entries are matched by (nodes, seed, items, mesoscale).  Guard
+    checksums — expected/delivered counts and the per-item delivery
+    digest — must match the baseline *exactly*; throughput and peak
+    RSS are gated with the loose per-metric tolerances above.
+    """
+    current_doc = json.loads(current_path.read_text(encoding="utf-8"))
+    baseline_doc = json.loads(baseline_path.read_text(encoding="utf-8"))
+    current = {_scale_key(e): e for e in current_doc.get("entries", [])}
+    baseline = {_scale_key(e): e for e in baseline_doc.get("entries", [])}
+
+    failures = []
+    print(f"{'point':<28} {'nodes/s':>10} {'floor':>10} "
+          f"{'rss MiB':>8} {'cap':>8}  verdict")
+    for key in sorted(baseline, key=lambda k: (k[0] or 0, k)):
+        base = baseline[key]
+        label = f"n={key[0]} seed={key[1]}" + (" meso" if key[3] else "")
+        entry = current.get(key)
+        if entry is None:
+            # Different invocations run different point sets (CI smoke
+            # runs 20k only; `make bench-scale` runs 100k) — gate what
+            # the current run produced, skip the rest.
+            print(f"{label:<28} {'-':>10} {'-':>10} {'-':>8} {'-':>8}  skipped")
+            continue
+        problems = []
+        base_guard, guard = base.get("guard", {}), entry.get("guard", {})
+        for field in ("expected", "delivered", "digest"):
+            if guard.get(field) != base_guard.get(field):
+                problems.append(
+                    f"guard.{field} drifted ({guard.get(field)!r} != "
+                    f"{base_guard.get(field)!r})"
+                )
+        floor = base["nodes_per_sec"] * SCALE_MIN_NODES_PER_SEC_RATIO
+        if entry["nodes_per_sec"] < floor:
+            problems.append(
+                f"nodes_per_sec {entry['nodes_per_sec']:.0f} below floor "
+                f"{floor:.0f} ({SCALE_MIN_NODES_PER_SEC_RATIO}x baseline "
+                f"{base['nodes_per_sec']:.0f})"
+            )
+        cap = base["peak_rss_mb"] * SCALE_MAX_PEAK_RSS_RATIO
+        if entry["peak_rss_mb"] > cap:
+            problems.append(
+                f"peak_rss_mb {entry['peak_rss_mb']:.0f} above cap "
+                f"{cap:.0f} ({SCALE_MAX_PEAK_RSS_RATIO}x baseline "
+                f"{base['peak_rss_mb']:.0f})"
+            )
+        for violation in entry.get("invariants", {}).get("violations", []):
+            problems.append(f"invariant violation: {violation}")
+        verdict = "ok" if not problems else "FAILED"
+        print(
+            f"{label:<28} {entry['nodes_per_sec']:>10.0f} {floor:>10.0f} "
+            f"{entry['peak_rss_mb']:>8.0f} {cap:>8.0f}  {verdict}"
+        )
+        for problem in problems:
+            failures.append(f"{label}: {problem}")
+
+    if not any(key in current for key in baseline):
+        failures.append(
+            f"no entry in {current_path} matches any baseline point "
+            "(nodes/seed/items/mesoscale drifted?)"
+        )
+    if failures:
+        print(f"\nscale gate FAILED ({len(failures)} problem(s)):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nscale gate passed")
+    return 0
+
+
 def main(argv=None) -> int:
     root = Path(__file__).resolve().parent.parent
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
-        "--current", type=Path, default=root / "BENCH_substrate.json"
+        "--scale", action="store_true",
+        help=(
+            "gate BENCH_scale.json (columnar mega-scale benchmark) "
+            "instead of BENCH_substrate.json"
+        ),
     )
-    parser.add_argument(
-        "--baseline",
-        type=Path,
-        default=root / "benchmarks" / "BASELINE_substrate.json",
-    )
+    parser.add_argument("--current", type=Path, default=None)
+    parser.add_argument("--baseline", type=Path, default=None)
     args = parser.parse_args(argv)
-    return check(args.current, args.baseline)
+    if args.scale:
+        current = args.current or root / "BENCH_scale.json"
+        baseline = args.baseline or root / "benchmarks" / "BASELINE_scale.json"
+        return check_scale(current, baseline)
+    current = args.current or root / "BENCH_substrate.json"
+    baseline = args.baseline or root / "benchmarks" / "BASELINE_substrate.json"
+    return check(current, baseline)
 
 
 if __name__ == "__main__":

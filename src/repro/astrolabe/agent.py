@@ -57,6 +57,17 @@ BASE_LEAF_ATTRIBUTES = ("nmembers", "load", "contacts", "loads", "leaf")
 TableListener = Callable[[ZonePath, list[str]], None]
 
 
+def expiry_cutoff(now: float, config: NewsWireConfig) -> float:
+    """Timestamp horizon below which unrefreshed rows are reaped.
+
+    One definition shared by the per-agent expiry/merge paths here and
+    the batched rounds of ``repro.scale`` — both backends must age out
+    a silent member after exactly ``row_ttl_rounds`` gossip intervals,
+    or their zone views drift apart.
+    """
+    return now - config.gossip.interval * config.gossip.row_ttl_rounds
+
+
 class AstrolabeAgent(Process):
     """One Astrolabe participant (a leaf of the zone tree)."""
 
@@ -445,8 +456,7 @@ class AstrolabeAgent(Process):
 
     def _merge_cutoff(self) -> float:
         """Reject incoming rows older than the expiry horizon."""
-        ttl = self.config.gossip.interval * self.config.gossip.row_ttl_rounds
-        return self.now - ttl
+        return expiry_cutoff(self.now, self.config)
 
     def _apply_path_deltas(self, deltas: Dict[ZonePath, ZoneDelta]) -> None:
         """Merge per-zone deltas (deepest first).
@@ -481,8 +491,7 @@ class AstrolabeAgent(Process):
     # ------------------------------------------------------------------
 
     def _expire_rows(self) -> None:
-        ttl = self.config.gossip.interval * self.config.gossip.row_ttl_rounds
-        cutoff = self.now - ttl
+        cutoff = expiry_cutoff(self.now, self.config)
         if cutoff <= 0:
             return
         for zone, table in self.tables.items():

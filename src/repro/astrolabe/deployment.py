@@ -38,13 +38,15 @@ from repro.astrolabe.zone import ZoneTable
 ADMIN_PRINCIPAL = "admin"
 
 
-def balanced_paths(num_nodes: int, branching: int) -> list[ZonePath]:
-    """Leaf paths of a balanced zone tree with ≤ ``branching`` rows per zone.
+def balanced_layout(num_nodes: int, branching: int) -> tuple[int, int]:
+    """``(levels, width)`` of the balanced zone tree the builder assigns.
 
     ``levels`` is the number of base-``width`` digits needed to number
-    all leaves; the first ``levels - 1`` digits name internal zones
-    (``z<digit>``) and the final digit positions the leaf (``n<index>``)
-    inside its leaf zone.
+    all leaves.  Shared with the columnar backend (``repro.scale``),
+    whose arithmetic zone addressing must match :func:`balanced_paths`
+    digit for digit — node ``index`` lives in leaf zone
+    ``index // width``, whose ancestor at depth ``d`` is
+    ``index // width**(levels - d)``.
     """
     if num_nodes <= 0:
         raise ConfigurationError("num_nodes must be positive")
@@ -54,6 +56,17 @@ def balanced_paths(num_nodes: int, branching: int) -> list[ZonePath]:
     while branching ** levels < num_nodes:
         levels += 1
     width = max(1, math.ceil(num_nodes ** (1.0 / levels)))
+    return levels, width
+
+
+def balanced_paths(num_nodes: int, branching: int) -> list[ZonePath]:
+    """Leaf paths of a balanced zone tree with ≤ ``branching`` rows per zone.
+
+    The first ``levels - 1`` digits name internal zones (``z<digit>``)
+    and the final digit positions the leaf (``n<index>``) inside its
+    leaf zone.
+    """
+    levels, width = balanced_layout(num_nodes, branching)
     paths: list[ZonePath] = []
     for index in range(num_nodes):
         digits: list[int] = []

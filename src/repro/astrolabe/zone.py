@@ -119,8 +119,45 @@ class ZoneTable:
     def digest(self) -> ZoneDigest:
         return self._store.digest()
 
+    def digest_view(self) -> ZoneDigest:
+        """The live digest map — zero-copy, for in-process reconciliation.
+
+        Same contract as :meth:`VersionedStore.digest_view`: read-only,
+        never held across mutations, never shipped in a message.
+        """
+        return self._store.digest_view()
+
+    @property
+    def generation(self) -> int:
+        """Mutation counter of the underlying store (see
+        :attr:`VersionedStore.generation`)."""
+        return self._store.generation
+
     def delta_for(self, remote_digest: ZoneDigest) -> ZoneDelta:
         return self._store.delta_for(remote_digest)
+
+    def reconcile_with(
+        self, other: "ZoneTable", min_timestamp: float = float("-inf")
+    ) -> tuple[list[str], list[str]]:
+        """Symmetric in-process anti-entropy with another replica.
+
+        One full digest → delta → delta exchange without serialization:
+        digests are read zero-copy and row entries are shared by
+        reference, exactly like :func:`repro.gossip.antientropy.reconcile`
+        but through the table layer so the size bound, resurrection
+        cutoff and content token stay enforced.  Batched gossip rounds
+        (``repro.scale``) call this once per scheduled replica pair in
+        place of a simulated message exchange.
+
+        Returns ``(changed_here, changed_there)``.
+        """
+        changed_here = self.apply_delta(
+            other.delta_for(self.digest_view()), min_timestamp
+        )
+        changed_there = other.apply_delta(
+            self.delta_for(other.digest_view()), min_timestamp
+        )
+        return changed_here, changed_there
 
     def apply_delta(
         self, delta: ZoneDelta, min_timestamp: float = float("-inf")

@@ -307,6 +307,28 @@ def main(argv: list[str]) -> int:
         ),
     )
     parser.add_argument(
+        "--backend", choices=("object", "columnar"), default="object",
+        help=(
+            "state representation for experiments that support it (e2, "
+            "e6): 'object' is the faithful per-agent deployment, "
+            "'columnar' the struct-of-arrays mega-scale backend "
+            "(docs/SCALE.md); experiments without the parameter note "
+            "and ignore the flag"
+        ),
+    )
+    parser.add_argument(
+        "--sink", choices=("auto", "memory", "streaming", "jsonl"),
+        default="auto",
+        help=(
+            "primary trace sink for experiments that support it: "
+            "'memory' retains events, 'streaming' folds bounded "
+            "aggregates, 'jsonl' additionally spools raw events to "
+            "traces/<name>.jsonl; the default 'auto' uses memory below "
+            "10,000 nodes and streaming at or above "
+            "(repro.experiments.e2_latency.STREAMING_NODE_THRESHOLD)"
+        ),
+    )
+    parser.add_argument(
         "--check-invariants", action="store_true",
         help=(
             "attach the repro.testkit invariant suite to experiments "
@@ -381,18 +403,63 @@ def main(argv: list[str]) -> int:
         spec_config = config
         if args.report and "report" in spec.parameters:
             spec_config = dataclasses.replace(
-                config, overrides={**config.overrides, "report": True}
+                spec_config, overrides={**spec_config.overrides, "report": True}
             )
-        elapsed, violations = _run_one(
-            spec,
-            spec_config,
-            json_dir,
-            check_invariants=args.check_invariants,
-            workers=args.workers,
-            profile=args.profile,
-            profile_memory=args.profile_memory,
-            profile_dir=Path(args.profile_dir),
-        )
+        if args.backend != "object":
+            if "backend" in spec.parameters:
+                spec_config = dataclasses.replace(
+                    spec_config,
+                    overrides={**spec_config.overrides, "backend": args.backend},
+                )
+            else:
+                print(
+                    f"[{spec.name} takes no backend; --backend ignored]",
+                    file=sys.stderr,
+                )
+        jsonl_sink = None
+        if args.sink in ("memory", "streaming"):
+            if "sink" in spec.parameters:
+                spec_config = dataclasses.replace(
+                    spec_config,
+                    overrides={**spec_config.overrides, "sink": args.sink},
+                )
+            else:
+                print(
+                    f"[{spec.name} takes no sink selector; --sink ignored]",
+                    file=sys.stderr,
+                )
+        elif args.sink == "jsonl":
+            if "sinks" in spec.parameters:
+                from repro.obs.sinks import JsonlFileSink
+
+                trace_dir = Path("traces")
+                trace_dir.mkdir(parents=True, exist_ok=True)
+                trace_path = trace_dir / f"{spec.name}.jsonl"
+                jsonl_sink = JsonlFileSink(trace_path)
+                spec_config = dataclasses.replace(
+                    spec_config,
+                    overrides={**spec_config.overrides, "sinks": [jsonl_sink]},
+                )
+            else:
+                print(
+                    f"[{spec.name} takes no sinks; --sink jsonl ignored]",
+                    file=sys.stderr,
+                )
+        try:
+            elapsed, violations = _run_one(
+                spec,
+                spec_config,
+                json_dir,
+                check_invariants=args.check_invariants,
+                workers=args.workers,
+                profile=args.profile,
+                profile_memory=args.profile_memory,
+                profile_dir=Path(args.profile_dir),
+            )
+        finally:
+            if jsonl_sink is not None:
+                jsonl_sink.close()
+                print(f"[{spec.name} trace -> {trace_path}]")
         violated = violated or bool(violations)
         print(f"[{spec.name} completed in {elapsed:.1f}s]\n")
     return 1 if violated else 0

@@ -1,0 +1,233 @@
+"""Mega-scale benchmark: E2-shaped latency run on the columnar backend.
+
+``make bench-scale`` drives one (or more) population sizes through
+:func:`repro.scale.backend.build_columnar` with the standard E2
+workload shape — Zipf interests over the tech subjects, a settle
+period, evenly spaced items, a drain window — and records throughput
+(nodes/sec), peak RSS and deterministic *guard checksums* into
+``BENCH_scale.json``.  ``benchmarks/check_bench.py --scale`` gates the
+file against ``benchmarks/BASELINE_scale.json``: guards must match
+exactly (same seed ⇒ same delivery sets, on any machine), while the
+throughput/RSS metrics carry per-metric tolerances (machines differ;
+work must not).
+
+The sink is a :class:`~repro.obs.sinks.StreamingSink` — the documented
+default at this scale (docs/SCALE.md): exact per-item delivery counts
+and approximate latency percentiles in bounded memory.
+
+``--check-invariants`` attaches the full testkit suite plus
+per-item expected-delivery sets, so the run also proves no-duplicates,
+scoped-delivery and eventual-delivery-or-attributed-loss at scale
+(this is what the CI ``scale-smoke`` job runs at 20k nodes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import resource
+import sys
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.core.config import NewsWireConfig
+from repro.core.identifiers import ItemId
+from repro.obs.sinks import StreamingSink
+from repro.scale.backend import build_columnar
+from repro.workloads.populations import InterestModel
+from repro.workloads.scenarios import TECH_CATEGORIES, subjects_for
+
+SCHEMA = "bench-scale/v1"
+
+#: The E2 defaults this benchmark inherits.
+SUBSCRIPTIONS_PER_NODE = 3
+ITEM_SPACING = 1.0
+SETTLE_ROUNDS = 2.0
+DRAIN_TIME = 20.0
+
+
+def _peak_rss_mb() -> float:
+    """High-water resident set of this process, in MiB.
+
+    ``ru_maxrss`` is KiB on Linux and bytes on macOS; normalize.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return peak / (1024 * 1024)
+    return peak / 1024
+
+
+def run_point(
+    num_nodes: int,
+    items: int,
+    seed: int,
+    mesoscale: bool,
+    check_invariants: bool,
+) -> dict:
+    """One latency-scaling point; returns the BENCH_scale entry."""
+    subjects = subjects_for(("newswire",), TECH_CATEGORIES)
+    interests = InterestModel(
+        subjects=subjects, subscriptions_per_node=SUBSCRIPTIONS_PER_NODE, seed=seed
+    )
+    interests.prepare(num_nodes)
+
+    sink = StreamingSink()
+    sinks = [sink]
+    suite = None
+    if check_invariants:
+        from repro.testkit.invariants import InvariantSuite
+
+        suite = InvariantSuite()
+        sinks.append(suite)
+
+    build_started = time.perf_counter()
+    system = build_columnar(
+        num_nodes,
+        NewsWireConfig(),
+        publisher_names=("newswire",),
+        subscriptions_for=interests.subscriptions_for,
+        seed=seed + num_nodes,
+        sinks=sinks,
+        mesoscale=mesoscale,
+    )
+    build_seconds = time.perf_counter() - build_started
+
+    run_started = time.perf_counter()
+    interval = system.config.gossip.interval
+    system.run_for(SETTLE_ROUNDS * interval)
+    publisher = system.publisher("newswire")
+    start = system.sim.now
+    item_subjects = [subjects[index % len(subjects)] for index in range(items)]
+    for index, subject in enumerate(item_subjects):
+        system.sim.call_at(
+            start + index * ITEM_SPACING,
+            publisher.publish_news,
+            subject,
+            f"story {index}",
+        )
+    system.sim.run_until(start + items * ITEM_SPACING + DRAIN_TIME)
+    run_seconds = time.perf_counter() - run_started
+    total_seconds = build_seconds + run_seconds
+
+    expected = {
+        str(ItemId("newswire", serial)): interests.expected_receivers(
+            num_nodes, item_subjects[serial - 1]
+        )
+        for serial in range(1, items + 1)
+    }
+    expected_total = sum(expected.values())
+    delivered = sink.count("deliver")
+    per_item = dict(sink.deliveries_per_item)
+    digest = hashlib.sha256(
+        json.dumps(sorted(per_item.items())).encode("utf-8")
+    ).hexdigest()
+
+    invariants: Optional[dict] = None
+    if suite is not None:
+        for serial in range(1, items + 1):
+            item = str(ItemId("newswire", serial))
+            subject = item_subjects[serial - 1]
+            nodes = {
+                system.node_name(index)
+                for index in range(num_nodes)
+                if any(
+                    subscription.matches_subject(subject)
+                    for subscription in interests.subscriptions_for(index)
+                )
+            }
+            suite.causal.expect(item, nodes)
+        violations = suite.finalize(None)
+        invariants = {
+            "checked": [checker.name for checker in suite.checkers],
+            "violations": [str(violation) for violation in violations],
+        }
+
+    entry = {
+        "nodes": num_nodes,
+        "items": items,
+        "seed": seed,
+        "mesoscale": mesoscale,
+        "build_seconds": round(build_seconds, 4),
+        "run_seconds": round(run_seconds, 4),
+        "total_seconds": round(total_seconds, 4),
+        "nodes_per_sec": round(num_nodes / total_seconds, 1),
+        "events_seen": sink.events_seen,
+        "peak_rss_mb": round(_peak_rss_mb(), 1),
+        "guard": {
+            "expected": expected_total,
+            "delivered": delivered,
+            "ratio": round(delivered / expected_total, 6) if expected_total else 0.0,
+            "digest": digest,
+        },
+    }
+    if invariants is not None:
+        entry["invariants"] = invariants
+    return entry
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--nodes", type=int, nargs="+", default=[100_000],
+        help="population sizes to run (default: 100000)",
+    )
+    parser.add_argument("--items", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--mesoscale", action="store_true",
+        help="enable the cold-zone mesoscale tier (docs/SCALE.md)",
+    )
+    parser.add_argument(
+        "--check-invariants", action="store_true",
+        help=(
+            "attach the testkit invariant suite with per-item expected "
+            "delivery sets; exit non-zero on any violation"
+        ),
+    )
+    parser.add_argument(
+        "-o", "--output", type=Path, default=Path("BENCH_scale.json"),
+    )
+    args = parser.parse_args(argv)
+
+    entries = []
+    violated = False
+    for num_nodes in args.nodes:
+        print(f"[bench-scale] {num_nodes} nodes ...", flush=True)
+        entry = run_point(
+            num_nodes,
+            items=args.items,
+            seed=args.seed,
+            mesoscale=args.mesoscale,
+            check_invariants=args.check_invariants,
+        )
+        entries.append(entry)
+        guard = entry["guard"]
+        print(
+            f"[bench-scale] {num_nodes} nodes: "
+            f"{entry['total_seconds']:.2f}s "
+            f"({entry['nodes_per_sec']:.0f} nodes/sec), "
+            f"peak RSS {entry['peak_rss_mb']:.0f} MiB, "
+            f"delivered {guard['delivered']}/{guard['expected']} "
+            f"(ratio {guard['ratio']})"
+        )
+        inv = entry.get("invariants")
+        if inv is not None:
+            if inv["violations"]:
+                violated = True
+                print(f"[bench-scale] invariants: "
+                      f"{len(inv['violations'])} violation(s)")
+                for violation in inv["violations"]:
+                    print(f"  {violation}")
+            else:
+                print("[bench-scale] invariants: clean")
+
+    doc = {"schema": SCHEMA, "entries": entries}
+    args.output.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    print(f"[bench-scale] wrote {args.output}")
+    return 1 if violated else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

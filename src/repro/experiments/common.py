@@ -86,6 +86,11 @@ class SystemSpec:
     #: (e.g. AsyncioUdpRuntime) builds the same deployment on it with
     #: ``start`` deferred to the caller (see docs/RUNTIME.md).
     runtime: object = field(default="sim", compare=False)
+    #: State representation: "object" (default) is the faithful
+    #: per-agent deployment; "columnar" is the struct-of-arrays
+    #: mega-scale backend (docs/SCALE.md), canonical-trace-equivalent
+    #: at fixed seed and simulator-only.
+    backend: str = "object"
 
     def validate(self) -> "SystemSpec":
         validate_positive("num_nodes", self.num_nodes)
@@ -96,22 +101,37 @@ class SystemSpec:
         validate_seed(self.seed)
         if self.interest_seed is not None:
             validate_seed(self.interest_seed)
+        if self.backend not in ("object", "columnar"):
+            raise ConfigurationError(
+                f"backend must be 'object' or 'columnar', got {self.backend!r}"
+            )
         return self
 
 
-def build_system(spec: SystemSpec) -> tuple[NewsWireSystem, InterestModel]:
+def build_system(spec: SystemSpec) -> tuple:
     """Stand up the standard NewsWire deployment a ``SystemSpec`` describes.
 
     Returns the running system and the interest model used to seed
     subscriptions (experiments need it for expected-delivery counts).
+    With ``backend="columnar"`` the system is a
+    :class:`repro.scale.backend.ColumnarNewsWire` exposing the same
+    driving surface (``runtime`` / ``trace`` / ``publisher`` /
+    ``run_for``); otherwise a :class:`NewsWireSystem`.
     """
     spec.validate()
+    if spec.backend == "columnar":
+        # Deferred: repro.scale pulls in the whole columnar stack,
+        # which object-backend callers never need.
+        from repro.scale.backend import build_columnar_system
+
+        return build_columnar_system(spec)
     interest_seed = spec.interest_seed if spec.interest_seed is not None else spec.seed
     interests = InterestModel(
         subjects=spec.subjects,
         subscriptions_per_node=spec.subscriptions_per_node,
         seed=interest_seed,
     )
+    interests.prepare(spec.num_nodes)
     live = not (spec.runtime is None or spec.runtime == "sim")
     system = build_newswire(
         spec.num_nodes,

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.core.config import NewsWireConfig
+from repro.core.errors import ConfigurationError
 from repro.experiments.common import (
     SystemSpec,
     build_system,
@@ -40,9 +41,15 @@ from repro.metrics.report import format_table
 from repro.metrics.stats import Summary
 from repro.obs.causal import CausalSink, format_causal_report
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.sinks import MemorySink, TraceSink
+from repro.obs.sinks import MemorySink, StreamingSink, TraceSink
 from repro.workloads.scenarios import TECH_CATEGORIES, subjects_for
 from repro.workloads.traces import Publication
+
+#: At or above this population, ``sink="auto"`` switches the per-size
+#: primary sink from a retained-event MemorySink to a bounded-memory
+#: StreamingSink (exact counts, bucket-approximate percentiles).
+#: Documented default — docs/SCALE.md and ``--sink`` in the CLI.
+STREAMING_NODE_THRESHOLD = 10_000
 
 
 @dataclass(frozen=True)
@@ -155,7 +162,16 @@ def run_e2(
     sinks: Optional[Sequence[TraceSink]] = None,
     metrics: Optional[MetricsRegistry] = None,
     report: bool = False,
+    backend: str = "object",
+    sink: str = "auto",
 ) -> E2Result:
+    """``backend`` selects the state representation ("object" or the
+    mega-scale "columnar", docs/SCALE.md).  ``sink`` picks the per-size
+    *primary* sink: "memory" retains events, "streaming" folds them
+    into bounded aggregates, and the default "auto" uses memory below
+    ``STREAMING_NODE_THRESHOLD`` nodes and streaming at or above it.
+    Defaults reproduce the historical (golden-pinned) rows exactly.
+    """
     validate_sizes("sizes", sizes)
     validate_positive("items", items)
     validate_positive("item_spacing", item_spacing)
@@ -163,6 +179,10 @@ def run_e2(
     validate_non_negative("settle_rounds", settle_rounds)
     validate_non_negative("drain_time", drain_time)
     validate_seed(seed)
+    if sink not in ("auto", "memory", "streaming"):
+        raise ConfigurationError(
+            f"sink must be 'auto', 'memory' or 'streaming', got {sink!r}"
+        )
     subjects = subjects_for(("newswire",), TECH_CATEGORIES)
     rows: list[E2Row] = []
     causal_summaries: dict = {}
@@ -180,8 +200,12 @@ def run_e2(
         # populations.  Sinks are transparent, so attaching one cannot
         # change rows.
         causal: Optional[CausalSink] = None
+        use_streaming = sink == "streaming" or (
+            sink == "auto" and num_nodes >= STREAMING_NODE_THRESHOLD
+        )
+        primary: TraceSink = StreamingSink() if use_streaming else MemorySink()
         size_sinks: list[TraceSink] = [
-            MemorySink(), *(sinks if sinks is not None else ())
+            primary, *(sinks if sinks is not None else ())
         ]
         if report:
             causal = CausalSink()
@@ -200,6 +224,7 @@ def run_e2(
                 config=cfg,
                 sinks=size_sinks,
                 metrics=metrics,
+                backend=backend,
             )
         )
         system.run_for(settle_rounds * cfg.gossip.interval)

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.core.config import GossipConfig, NewsWireConfig
+from repro.core.errors import ConfigurationError
 from repro.metrics.report import format_table
 from repro.news.deployment import build_newswire
 from repro.pubsub.subscription import Subscription
@@ -80,11 +81,22 @@ def run_e6(
     gossip_intervals: Sequence[float] = (2.0, 5.0),
     horizon: float = 300.0,
     seed: int = 0,
+    backend: str = "object",
 ) -> E6Result:
+    """``backend="columnar"`` runs the same protocol question against
+    the mega-scale backend (docs/SCALE.md): the run-time ``subscribe``
+    takes the staged leaf→root propagation path and the probe reads the
+    observer's top-zone root replica — the same measurement, different
+    state representation.
+    """
     validate_sizes("sizes", sizes)
     validate_sizes("gossip_intervals", gossip_intervals)
     validate_positive("horizon", horizon)
     validate_seed(seed)
+    if backend not in ("object", "columnar"):
+        raise ConfigurationError(
+            f"backend must be 'object' or 'columnar', got {backend!r}"
+        )
     base_subjects = subjects_for(("newswire",), TECH_CATEGORIES)
     fresh_subject = "newswire/raresubject"
     rows: list[E6Row] = []
@@ -93,36 +105,67 @@ def run_e6(
             config = NewsWireConfig(
                 gossip=GossipConfig(interval=interval, jitter=min(1.0, interval / 2))
             )
-            system = build_newswire(
-                num_nodes,
-                config,
-                publisher_names=("newswire",),
-                subscriptions_for=lambda i: (
-                    Subscription(base_subjects[i % len(base_subjects)]),
-                ),
-                seed=seed + num_nodes,
-            )
-            system.run_for(2 * interval)
 
-            # The new subscriber: last node (different top zone than node 0).
-            subscriber = system.nodes[-1]
-            observer = system.nodes[1]  # same top zone as the publisher
+            def base_subscriptions(i: int):
+                return (Subscription(base_subjects[i % len(base_subjects)]),)
+
+            # The new subscriber is the last node (different top zone
+            # than node 0); the observer shares the publisher's top
+            # zone, so visibility means the bit crossed the root.
+            if backend == "columnar":
+                from repro.scale.backend import build_columnar
+
+                system = build_columnar(
+                    num_nodes,
+                    config,
+                    publisher_names=("newswire",),
+                    subscriptions_for=base_subscriptions,
+                    seed=seed + num_nodes,
+                )
+                subscriber_index = num_nodes - 1
+                subscriber_name = system.node_name(subscriber_index)
+                positions = system.scheme.hints_for(fresh_subject, "newswire")
+
+                def do_subscribe() -> None:
+                    system.subscribe(subscriber_index, Subscription(fresh_subject))
+
+                def root_visible() -> bool:
+                    return system.root_subs_visible(1, positions)
+
+            else:
+                system = build_newswire(
+                    num_nodes,
+                    config,
+                    publisher_names=("newswire",),
+                    subscriptions_for=base_subscriptions,
+                    seed=seed + num_nodes,
+                )
+                subscriber = system.nodes[-1]
+                observer = system.nodes[1]
+                subscriber_name = str(subscriber.node_id)
+                positions = subscriber.scheme.hints_for(fresh_subject, "newswire")
+
+                def do_subscribe() -> None:
+                    subscriber.subscribe(Subscription(fresh_subject))
+
+                def root_visible() -> bool:
+                    subs = observer.evaluate_zone(observer.zones[0]).get("subs")
+                    return isinstance(subs, int) and all(
+                        (subs >> p) & 1 for p in positions
+                    )
+
+            system.run_for(2 * interval)
             publisher = system.publisher("newswire")
-            positions = subscriber.scheme.hints_for(fresh_subject, "newswire")
 
             t_subscribe = system.sim.now
-            subscriber.subscribe(Subscription(fresh_subject))
+            do_subscribe()
 
             visibility: list[float] = []
 
             def check_root() -> None:
                 if visibility:
                     return
-                root = observer.zones[0]
-                subs = observer.evaluate_zone(root).get("subs")
-                if isinstance(subs, int) and all(
-                    (subs >> p) & 1 for p in positions
-                ):
+                if root_visible():
                     visibility.append(system.sim.now - t_subscribe)
 
             probe = system.sim.call_every(interval / 4, check_root)
@@ -137,7 +180,7 @@ def run_e6(
                 system.sim.run_until(t_publish + 60.0)
                 for event in system.trace.events("deliver"):
                     if (
-                        event.get("node") == str(subscriber.node_id)
+                        event.get("node") == subscriber_name
                         and event.time >= t_publish
                     ):
                         first_delivery = event.time - t_publish

@@ -45,6 +45,18 @@ class VersionedStore(Generic[KeyT, ValueT]):
     def __init__(self) -> None:
         self._entries: Dict[KeyT, Entry[ValueT]] = {}
         self._digest: Dict[KeyT, Version] = {}
+        self._generation = 0
+
+    @property
+    def generation(self) -> int:
+        """Monotone counter of accepted mutations.
+
+        Batched gossip (``repro.scale``) snapshots this per replica
+        pair: when neither side's generation moved since their last
+        exchange, the round skips the digest comparison entirely — the
+        replicas cannot have diverged in the meantime.
+        """
+        return self._generation
 
     # -- local access ------------------------------------------------------
 
@@ -55,6 +67,7 @@ class VersionedStore(Generic[KeyT, ValueT]):
             return False
         self._entries[key] = Entry(version, value)
         self._digest[key] = version
+        self._generation += 1
         return True
 
     def get(self, key: KeyT) -> Optional[ValueT]:
@@ -75,6 +88,8 @@ class VersionedStore(Generic[KeyT, ValueT]):
         it; true deletion requires the owner to stop refreshing the row
         and expiry to reap it (see Astrolabe's row timeouts).
         """
+        if key in self._entries:
+            self._generation += 1
         self._entries.pop(key, None)
         self._digest.pop(key, None)
 
@@ -149,6 +164,7 @@ class VersionedStore(Generic[KeyT, ValueT]):
             return False
         self._entries[key] = entry
         self._digest[key] = entry.version
+        self._generation += 1
         return True
 
     def apply_delta(self, delta: Dict[KeyT, Entry[ValueT]]) -> list[KeyT]:
@@ -173,7 +189,34 @@ class VersionedStore(Generic[KeyT, ValueT]):
         for key in stale:
             del self._entries[key]
             del self._digest[key]
+        if stale:
+            self._generation += 1
         return stale
 
     def __repr__(self) -> str:
         return f"VersionedStore({len(self._entries)} entries)"
+
+
+def reconcile(
+    a: VersionedStore[KeyT, ValueT], b: VersionedStore[KeyT, ValueT]
+) -> tuple[list[KeyT], list[KeyT]]:
+    """Symmetric in-process anti-entropy between two replicas.
+
+    Equivalent to one full digest → delta → delta exchange — ``b``
+    ships what ``a`` lacks, then ``a`` ships what ``b`` still lacks —
+    but without serializing anything: digests are read zero-copy
+    (:meth:`VersionedStore.digest_view`) and entries are shared by
+    reference.  Thanks to entry sharing, converged keys compare by
+    pointer identity in ``delta_for``, so the steady-state cost per
+    pair is one dict equality check.
+
+    This is the primitive batched gossip rounds (``repro.scale``) use:
+    one kernel event reconciles an entire zone level by calling this
+    over the scheduled replica pairs, instead of one simulated message
+    exchange per pair.
+
+    Returns ``(changed_in_a, changed_in_b)``.
+    """
+    changed_a = a.apply_delta(b.delta_for(a.digest_view()))
+    changed_b = b.apply_delta(a.delta_for(b.digest_view()))
+    return changed_a, changed_b

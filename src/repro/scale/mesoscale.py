@@ -1,0 +1,104 @@
+"""Mesoscale tier: freeze cold leaf zones into analytic summaries.
+
+At 10^5 nodes the vast majority of leaf zones are *cold*: nobody in
+them subscribes, fails or recovers for most of a run, yet the gossip
+round still walks them to refresh heartbeats.  The mesoscale tier
+(opt-in, ``build_columnar(..., mesoscale=True)``) demotes a leaf zone
+after ``cool_rounds`` quiet rounds: its members' liveness collapses to
+the frozen ``zone_refresh`` stamp and its interest/membership
+aggregate — already exact in ``MembershipColumns.agg_subs`` /
+``agg_count`` — becomes its analytic summary row.  Cold zones are
+skipped entirely by heartbeat refresh and expiry.
+
+Any activity promotes the zone back to the hot tier before it is
+applied: a subscription change, a failure injection or a recovery
+calls :meth:`note_activity`, which re-stamps the zone's freshness
+(while cold, its members were implicitly alive) so promotion never
+causes a spurious expiry.  Demotion requires the zone to be *clean*
+(no failed-but-unexpired members): zones mid-failure stay fully
+simulated until expiry reaps the dead row.
+
+The tier is a pure scheduling optimization: with no activity the
+frozen summary equals what refresh would recompute, so fixed-seed
+results are identical with the tier on or off (pinned in
+``tests/scale/test_mesoscale.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro.scale.columns import MembershipColumns
+
+
+class MesoscaleTier:
+    """Hot/cold scheduling for leaf zones."""
+
+    def __init__(
+        self,
+        columns: MembershipColumns,
+        enabled: bool = False,
+        cool_rounds: int = 5,
+    ):
+        self.columns = columns
+        self.enabled = enabled
+        self.cool_rounds = max(1, cool_rounds)
+        self._hot = set(range(columns.leaf_zone_count)) if enabled else None
+        self._last_active: Dict[int, int] = {}
+        self.promotions = 0
+        self.demotions = 0
+        #: Zone-rounds of work skipped while cold (the saving the tier
+        #: exists to bank).
+        self.cold_zone_rounds = 0
+
+    def hot_zones(self) -> Iterable[int]:
+        """Leaf zones the gossip round must fully process."""
+        if self._hot is None:
+            return range(self.columns.leaf_zone_count)
+        return tuple(self._hot)
+
+    def is_hot(self, zone: int) -> bool:
+        return self._hot is None or zone in self._hot
+
+    def note_activity(self, zone: int, now: float, round_index: int) -> None:
+        """Record activity in ``zone``, promoting it if currently cold."""
+        self._last_active[zone] = round_index
+        if self._hot is None or zone in self._hot:
+            return
+        # Promotion: while cold the zone's members were implicitly
+        # alive, so restart their shared freshness stamp at `now` —
+        # otherwise the next expiry sweep would reap the whole zone.
+        if self.columns.zone_clean[zone]:
+            self.columns.zone_refresh[zone] = now
+        self._hot.add(zone)
+        self.promotions += 1
+
+    def on_round(self, round_index: int) -> None:
+        """End-of-round accounting: demote zones idle for long enough."""
+        if self._hot is None:
+            return
+        self.cold_zone_rounds += self.columns.leaf_zone_count - len(self._hot)
+        cool = self.cool_rounds
+        clean = self.columns.zone_clean
+        last = self._last_active
+        to_demote = [
+            zone
+            for zone in self._hot
+            if clean[zone] and round_index - last.get(zone, 0) >= cool
+        ]
+        for zone in to_demote:
+            self._hot.discard(zone)
+            self.demotions += 1
+
+    def stats(self) -> Dict[str, object]:
+        total = self.columns.leaf_zone_count
+        hot = total if self._hot is None else len(self._hot)
+        return {
+            "enabled": self.enabled,
+            "leaf_zones": total,
+            "hot": hot,
+            "cold": total - hot,
+            "promotions": self.promotions,
+            "demotions": self.demotions,
+            "cold_zone_rounds": self.cold_zone_rounds,
+        }

@@ -245,6 +245,39 @@ class Simulation:
         _heappush(self._heap, (time, seq, handle))
         return handle
 
+    def call_at_batch(
+        self,
+        entries: Iterable[tuple[float, Callable[..., None], tuple]],
+    ) -> int:
+        """Schedule many ``(time, callback, args)`` events in one call.
+
+        The bulk entry point for the columnar scale backend: a batched
+        dissemination step computes thousands of future delivery times
+        at once, and pushing them through :meth:`call_at` would pay the
+        validation and handle-construction overhead per event *plus* a
+        Python call each.  Entries are validated like :meth:`call_at`
+        (finite, not in the past).  Returns the number scheduled.
+
+        Bulk events are fire-only — no handles are returned, so they
+        cannot be individually cancelled.  Callers that need
+        cancellation want :meth:`call_at`.
+        """
+        heap = self._heap
+        seq = self._seq
+        now = self._now
+        count = 0
+        for time, callback, args in entries:
+            if not _isfinite(time) or time < now:
+                self._seq = seq
+                raise SimulationError(
+                    f"cannot schedule event at t={time} (now={now})"
+                )
+            _heappush(heap, (time, seq, EventHandle(time, seq, callback, args, self)))
+            seq += 1
+            count += 1
+        self._seq = seq
+        return count
+
     def call_every(
         self,
         interval: float,

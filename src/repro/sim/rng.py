@@ -69,6 +69,28 @@ def derive_rng(*coords: int) -> random.Random:
     return random.Random(derive_substream(*coords))
 
 
+def substream_table(seed: int, count: int) -> list[int]:
+    """Bulk ``derive_substream(seed, i)`` for ``i in range(count)``.
+
+    Byte-identical to ``[derive_substream(seed, i) for i in range(count)]``
+    but with the seed word mixed once and the per-index splitmix64 steps
+    inlined, so population build at 10^5+ nodes pays one tight loop
+    instead of ``count`` function calls re-hashing the same seed.
+    """
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    base = splitmix64(seed & _MASK64) << 64
+    table: list[int] = []
+    append = table.append
+    mask = _MASK64
+    for index in range(count):
+        value = (index + 0x9E3779B97F4A7C15) & mask
+        value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & mask
+        value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & mask
+        append(base | (value ^ (value >> 31)))
+    return table
+
+
 class RngRegistry:
     """Hands out one :class:`random.Random` per stream name."""
 

@@ -16,7 +16,7 @@ from typing import Dict, Sequence
 
 from repro.core.errors import ConfigurationError
 from repro.pubsub.subscription import Subscription
-from repro.sim.rng import derive_rng
+from repro.sim.rng import derive_rng, substream_table
 
 
 def zipf_weights(count: int, exponent: float = 1.0) -> list[float]:
@@ -53,12 +53,28 @@ class InterestModel:
         self._subject_list = list(self.subjects)
         self._cum_weights = list(accumulate(self._weights))
         self._assignments: Dict[int, tuple[Subscription, ...]] = {}
+        self._substreams: list[int] = []
+
+    def prepare(self, num_nodes: int) -> None:
+        """Precompute the per-node substream ids for indices < ``num_nodes``.
+
+        Population builders call this once so the per-node derivation
+        drops out of the hot setup loop; the table holds the *same*
+        substream ids :func:`repro.sim.rng.derive_substream` would
+        produce, so prepared and unprepared models draw identical
+        subscriptions (pinned in ``tests/scale/test_equivalence.py``).
+        """
+        if num_nodes > len(self._substreams):
+            self._substreams = substream_table(self.seed, num_nodes)
 
     def _rng_for(self, index: int) -> random.Random:
         # Collision-free (seed, index) substream: the historical
         # ``(seed << 20) ^ index`` derivation collided for distinct
         # pairs once index reached 2**20 — exactly the 10^5–10^6-node
         # scale target — silently duplicating interest profiles.
+        table = self._substreams
+        if 0 <= index < len(table):
+            return random.Random(table[index])
         return derive_rng(self.seed, index)
 
     def subscriptions_for(self, index: int) -> tuple[Subscription, ...]:

@@ -1,0 +1,102 @@
+"""MembershipColumns: zone arithmetic and interest masks must agree
+with the object backend's balanced deployment, digit for digit."""
+
+import pytest
+
+from repro.astrolabe.deployment import balanced_layout, balanced_paths
+from repro.core.errors import ConfigurationError
+from repro.pubsub.schemes import BloomScheme
+from repro.pubsub.subscription import Subscription
+from repro.scale.backend import build_columnar
+from repro.scale.columns import MembershipColumns
+
+
+class TestZoneArithmetic:
+    @pytest.mark.parametrize("num_nodes", [1, 7, 48, 96, 300, 5000])
+    def test_node_paths_match_balanced_paths(self, num_nodes):
+        columns = MembershipColumns(num_nodes, branching=64)
+        paths = balanced_paths(num_nodes, 64)
+        for index in range(num_nodes):
+            assert columns.node_path(index) == str(paths[index])
+
+    def test_layout_matches_balanced_layout(self):
+        for num_nodes in (1, 48, 96, 5000, 100_000):
+            levels, width = balanced_layout(num_nodes, 64)
+            columns = MembershipColumns(num_nodes, branching=64)
+            assert (columns.levels, columns.width) == (levels, width)
+
+    def test_zone_of_is_prefix_of_leaf_zone(self):
+        columns = MembershipColumns(5000, branching=8)
+        for index in (0, 17, 4999):
+            leaf = columns.leaf_zone(index)
+            assert index in columns.leaf_members(leaf)
+            for depth in range(columns.levels):
+                zone = columns.zone_of(index, depth)
+                assert index in columns.zone_members(depth, zone)
+                # The ancestor chain is consistent: each zone's children
+                # at the next depth include the deeper ancestor.
+                if depth + 1 < columns.levels:
+                    assert columns.zone_of(index, depth + 1) in columns.children(
+                        depth, zone
+                    )
+
+    def test_children_partition_every_depth(self):
+        columns = MembershipColumns(300, branching=8)
+        for depth in range(columns.levels - 1):
+            seen = []
+            for zone in range(columns.zone_counts[depth]):
+                seen.extend(columns.children(depth, zone))
+            assert seen == list(range(columns.zone_counts[depth + 1]))
+
+    def test_representatives_first_members_per_leaf_zone(self):
+        columns = MembershipColumns(300, branching=8, representatives=2)
+        for zone in range(columns.leaf_zone_count):
+            members = list(columns.leaf_members(zone))
+            flagged = [i for i in members if columns.representative[i]]
+            assert flagged == members[: min(2, len(members))]
+
+    def test_representatives_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            MembershipColumns(10, branching=8, representatives=0)
+
+
+class TestInterestMasks:
+    def test_node_mask_equals_scheme_leaf_attributes(self):
+        """The columnar OR-of-positions mask is bit-identical to the
+        BloomFilter the object backend installs per leaf."""
+        scheme = BloomScheme()
+        subscriptions = [
+            Subscription("newswire/tech/ai"),
+            Subscription("newswire/markets"),
+            Subscription("newswire/tech/ai"),  # duplicates collapse
+        ]
+        system = build_columnar(4, subscriptions_for=lambda i: subscriptions)
+        expected = scheme.leaf_attributes(subscriptions)["subs"]
+        for index in range(4):
+            assert system.columns.interest[index] == expected
+
+    def test_aggregates_fold_bottom_up(self):
+        system = build_columnar(
+            300,
+            subscriptions_for=lambda i: [Subscription(f"s/{i % 5}")],
+        )
+        columns = system.columns
+        for depth in range(columns.levels):
+            for zone in range(columns.zone_counts[depth]):
+                mask, count = columns.recompute_zone(depth, zone)
+                assert columns.agg_subs[depth][zone] == mask
+                assert columns.agg_count[depth][zone] == count
+        # Root count covers everyone at time zero.
+        assert columns.agg_count[0][0] == 300
+
+    def test_carrier_prefers_representative_then_first_alive(self):
+        columns = MembershipColumns(16, branching=4, representatives=1)
+        zone = 0
+        members = list(columns.leaf_members(zone))
+        assert columns.carrier_for(columns.leaf_depth, zone) == members[0]
+        columns.alive[members[0]] = 0
+        # Representative dead: first alive member wins.
+        assert columns.carrier_for(columns.leaf_depth, zone) == members[1]
+        for index in members:
+            columns.alive[index] = 0
+        assert columns.carrier_for(columns.leaf_depth, zone) is None

@@ -1,0 +1,103 @@
+"""MesoscaleTier: cold zones must be pure scheduling — identical
+results, less work — and promotion must never corrupt liveness."""
+
+import hashlib
+import json
+
+from repro.core.config import GossipConfig, NewsWireConfig
+from repro.pubsub.subscription import Subscription
+from repro.scale.backend import build_columnar
+
+
+def build(num_nodes, mesoscale, **kwargs):
+    config = NewsWireConfig(
+        gossip=GossipConfig(interval=1.0, jitter=0.0),
+        branching_factor=8,
+    )
+    return build_columnar(num_nodes, config, mesoscale=mesoscale, **kwargs)
+
+
+def delivery_digest(system):
+    delivers = sorted(
+        (event["item"], event["node"])
+        for event in system.trace.events("deliver")
+    )
+    return hashlib.sha256(json.dumps(delivers).encode()).hexdigest()
+
+
+def run_workload(system):
+    system.run_for(3.0)
+    publisher = system.publisher("newswire")
+    publisher.publish_news("s/0", "one")
+    system.run_for(5.0)
+    system.subscribe(100, Subscription("s/fresh"))
+    system.run_for(5.0)
+    publisher.publish_news("s/fresh", "two")
+    system.run_for(10.0)
+
+
+class TestTransparency:
+    def test_fixed_seed_results_identical_with_tier_on(self):
+        digests = []
+        for mesoscale in (False, True):
+            system = build(
+                512,
+                mesoscale,
+                subscriptions_for=lambda i: [Subscription(f"s/{i % 4}")],
+                seed=3,
+            )
+            run_workload(system)
+            digests.append(delivery_digest(system))
+        assert digests[0] == digests[1]
+
+    def test_cold_zones_bank_skipped_rounds(self):
+        system = build(
+            512,
+            True,
+            subscriptions_for=lambda i: [Subscription(f"s/{i % 4}")],
+            seed=3,
+        )
+        system.run_for(30.0)
+        stats = system.gossip.tier.stats()
+        assert stats["enabled"] is True
+        assert stats["demotions"] > 0
+        assert stats["cold_zone_rounds"] > 0
+        assert stats["cold"] > 0
+
+
+class TestPromotion:
+    def test_subscription_promotes_cold_zone(self):
+        system = build(512, True, seed=1)
+        tier = system.gossip.tier
+        system.run_for(10.0)  # everything demotes (no activity)
+        zone = system.columns.leaf_zone(300)
+        assert not tier.is_hot(zone)
+        system.subscribe(300, Subscription("s/fresh"))
+        assert tier.is_hot(zone)
+        assert tier.promotions >= 1
+
+    def test_failure_in_cold_zone_expires_without_collateral(self):
+        """Promoting a cold zone re-stamps liveness: only the failed
+        node is reaped, never its implicitly-alive neighbours."""
+        system = build(512, True, seed=1)
+        columns = system.columns
+        system.run_for(10.0)
+        victim = 300
+        zone = columns.leaf_zone(victim)
+        assert not system.gossip.tier.is_hot(zone)
+        system.fail_node(victim)
+        system.run_for(60.0)
+        assert columns.member[victim] == 0
+        for neighbour in columns.leaf_members(zone):
+            if neighbour != victim:
+                assert columns.member[neighbour] == 1
+
+    def test_disabled_tier_reports_all_hot(self):
+        system = build(64, False, seed=1)
+        tier = system.gossip.tier
+        system.run_for(20.0)
+        stats = tier.stats()
+        assert stats["enabled"] is False
+        assert stats["cold"] == 0
+        assert stats["demotions"] == 0
+        assert list(tier.hot_zones()) == list(range(system.columns.leaf_zone_count))
